@@ -1,0 +1,160 @@
+package sstar
+
+// One benchmark per table and figure of the paper's evaluation section.
+// Each bench regenerates its artifact end to end (analysis, numeric
+// factorization on the virtual machine, table rendering). The benchmark
+// scale is reduced relative to `sstar-bench` defaults so a full
+// `go test -bench=.` pass stays in the minutes range; run
+// `go run ./cmd/sstar-bench -experiment all` for the DESIGN.md-scale runs
+// recorded in EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"sstar/internal/bench"
+)
+
+// benchCfg is the reduced configuration used by the Benchmark* targets.
+func benchCfg() bench.Config { return bench.Config{Scale: 0.35, BSize: 16, Amalg: 4} }
+
+func runTable(b *testing.B, f func() (*bench.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		t, err := f()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	runTable(b, func() (*bench.Table, error) { return bench.Table1(benchCfg()) })
+}
+
+func BenchmarkTable2(b *testing.B) {
+	runTable(b, func() (*bench.Table, error) { return bench.Table2(benchCfg()) })
+}
+
+func BenchmarkTable3(b *testing.B) {
+	runTable(b, func() (*bench.Table, error) { return bench.Table3(benchCfg(), []int{2, 8, 32}) })
+}
+
+func BenchmarkFig16(b *testing.B) {
+	runTable(b, func() (*bench.Table, error) { return bench.Fig16(benchCfg(), []int{2, 8, 32}) })
+}
+
+func BenchmarkTable4(b *testing.B) {
+	runTable(b, func() (*bench.Table, error) { return bench.Table4(benchCfg(), []int{1, 8, 32}) })
+}
+
+func BenchmarkTable5(b *testing.B) {
+	runTable(b, func() (*bench.Table, error) { return bench.Table5(benchCfg(), []int{16, 64}) })
+}
+
+func BenchmarkTable6(b *testing.B) {
+	runTable(b, func() (*bench.Table, error) { return bench.Table6(benchCfg(), []int{8, 32, 128}) })
+}
+
+func BenchmarkFig17(b *testing.B) {
+	runTable(b, func() (*bench.Table, error) { return bench.Fig17(benchCfg(), 32) })
+}
+
+func BenchmarkFig18(b *testing.B) {
+	runTable(b, func() (*bench.Table, error) { return bench.Fig18(benchCfg(), 32) })
+}
+
+func BenchmarkTable7(b *testing.B) {
+	runTable(b, func() (*bench.Table, error) { return bench.Table7(benchCfg(), []int{2, 8, 32}) })
+}
+
+func BenchmarkAblationBlockSize(b *testing.B) {
+	runTable(b, func() (*bench.Table, error) {
+		return bench.AblationBlockSize(benchCfg(), "sherman5", []int{8, 16, 25, 40}, 16)
+	})
+}
+
+func BenchmarkAblationAmalgamation(b *testing.B) {
+	runTable(b, func() (*bench.Table, error) {
+		return bench.AblationAmalgamation(benchCfg(), "sherman5", []int{0, 2, 4, 6, 8})
+	})
+}
+
+func BenchmarkAblationGridAspect(b *testing.B) {
+	runTable(b, func() (*bench.Table, error) {
+		return bench.AblationGridAspect(benchCfg(), "goodwin", 16)
+	})
+}
+
+func BenchmarkAblationMapping(b *testing.B) {
+	runTable(b, func() (*bench.Table, error) {
+		return bench.AblationMapping(benchCfg(), "goodwin", []int{4, 16})
+	})
+}
+
+// BenchmarkFactorizeSeq measures the real (host) speed of the sequential S*
+// numeric factorization on a mid-size suite matrix.
+func BenchmarkFactorizeSeq(b *testing.B) {
+	spec := bench.ByName("sherman5")
+	a := spec.Gen(0.5)
+	f, err := Factorize(a, DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.Refactorize(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolve measures the triangular-solve path.
+func BenchmarkSolve(b *testing.B) {
+	spec := bench.ByName("sherman5")
+	a := spec.Gen(0.5)
+	f, err := Factorize(a, DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rhsVec := make([]float64, a.N)
+	for i := range rhsVec {
+		rhsVec[i] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Solve(rhsVec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClaimBlas3Fraction(b *testing.B) {
+	runTable(b, func() (*bench.Table, error) { return bench.Blas3Fraction(benchCfg()) })
+}
+
+func BenchmarkClaimTheorem2Buffers(b *testing.B) {
+	runTable(b, func() (*bench.Table, error) { return bench.Theorem2Buffers(benchCfg(), []int{8, 32}) })
+}
+
+func BenchmarkAblationOrdering(b *testing.B) {
+	runTable(b, func() (*bench.Table, error) { return bench.AblationOrdering(benchCfg()) })
+}
+
+func BenchmarkClaimSolveCost(b *testing.B) {
+	runTable(b, func() (*bench.Table, error) { return bench.SolveCost(benchCfg(), 8) })
+}
+
+func BenchmarkScalingReport(b *testing.B) {
+	runTable(b, func() (*bench.Table, error) { return bench.ScalingReport(benchCfg(), []int{4, 16}) })
+}
+
+func BenchmarkClaimCaveats(b *testing.B) {
+	runTable(b, func() (*bench.Table, error) { return bench.Caveats(benchCfg(), 8) })
+}
+
+func BenchmarkClaimPrepCost(b *testing.B) {
+	runTable(b, func() (*bench.Table, error) { return bench.PrepCost(benchCfg()) })
+}

@@ -1,0 +1,173 @@
+package sstar
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// reducibleMatrix builds a scrambled matrix with three irreducible blocks
+// plus scalar tails.
+func reducibleMatrix(seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	sizes := []int{12, 1, 8, 1, 6}
+	n := 0
+	for _, s := range sizes {
+		n += s
+	}
+	coo := NewCOO(n, n)
+	lo := 0
+	for _, s := range sizes {
+		for i := 0; i < s; i++ {
+			coo.Add(lo+i, lo+i, 4+rng.Float64())
+			if s > 1 {
+				coo.Add(lo+i, lo+(i+1)%s, -1+0.1*rng.Float64()) // cycle: irreducible
+				if rng.Float64() < 0.4 {
+					coo.Add(lo+i, lo+rng.Intn(s), 0.3)
+				}
+			}
+		}
+		lo += s
+	}
+	// Upper couplings between blocks.
+	for k := 0; k < 10; k++ {
+		i := rng.Intn(n - 2)
+		j := i + 1 + rng.Intn(n-i-1)
+		coo.Add(i, j, 0.2)
+	}
+	a := coo.ToCSR()
+	// Scramble.
+	rp := rng.Perm(n)
+	cp := rng.Perm(n)
+	return a.Permute(rp, cp)
+}
+
+func TestFactorizeBTFSolve(t *testing.T) {
+	a := reducibleMatrix(80)
+	f, err := FactorizeBTF(a, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumBlocks() < 5 {
+		t.Fatalf("expected >= 5 blocks, got %d (%v)", f.NumBlocks(), f.BlockSizes())
+	}
+	if frac := f.FactoredFraction(); frac >= 1 {
+		t.Fatalf("factored fraction %v should be < 1 for a reducible matrix", frac)
+	}
+	b := rhs(a.N, 81)
+	x, err := f.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := Residual(a, x, b); r > 1e-10 {
+		t.Fatalf("BTF residual %g", r)
+	}
+	// Cross-check against the monolithic factorization.
+	mono, err := Factorize(a, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	xm, _ := mono.Solve(b)
+	for i := range x {
+		if math.Abs(x[i]-xm[i]) > 1e-8*(1+math.Abs(xm[i])) {
+			t.Fatalf("BTF and monolithic solves differ at %d: %g vs %g", i, x[i], xm[i])
+		}
+	}
+}
+
+func TestFactorizeBTFIrreducible(t *testing.T) {
+	// A strongly connected matrix degenerates to one block; results must
+	// still be right.
+	a := GenGrid2D(7, 7, false, GenOptions{Seed: 82})
+	f, err := FactorizeBTF(a, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumBlocks() != 1 {
+		t.Fatalf("grid should be irreducible, got %d blocks", f.NumBlocks())
+	}
+	b := rhs(a.N, 83)
+	x, err := f.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := Residual(a, x, b); r > 1e-10 {
+		t.Fatalf("residual %g", r)
+	}
+}
+
+func TestFactorizeBTFTriangularInput(t *testing.T) {
+	// A (scrambled) triangular matrix needs no LU at all: every block is
+	// 1x1 and solving is pure substitution.
+	n := 40
+	rng := rand.New(rand.NewSource(84))
+	coo := NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, 2+rng.Float64())
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.1 {
+				coo.Add(i, j, rng.Float64())
+			}
+		}
+	}
+	a := coo.ToCSR().Permute(rng.Perm(n), rng.Perm(n))
+	f, err := FactorizeBTF(a, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumBlocks() != n {
+		t.Fatalf("triangular input gave %d blocks, want %d", f.NumBlocks(), n)
+	}
+	if f.FactoredFraction() != 0 {
+		t.Fatalf("factored fraction %v, want 0", f.FactoredFraction())
+	}
+	b := rhs(n, 85)
+	x, err := f.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := Residual(a, x, b); r > 1e-11 {
+		t.Fatalf("residual %g", r)
+	}
+}
+
+func TestFactorizeBTFRefactorize(t *testing.T) {
+	a := reducibleMatrix(86)
+	f, err := FactorizeBTF(a, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2 := a.Clone()
+	for i := range a2.Val {
+		a2.Val[i] *= 1.7
+	}
+	if err := f.Refactorize(a2); err != nil {
+		t.Fatal(err)
+	}
+	b := rhs(a.N, 87)
+	x, err := f.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := Residual(a2, x, b); r > 1e-10 {
+		t.Fatalf("refactorized residual %g", r)
+	}
+}
+
+func TestFactorizeBTFErrors(t *testing.T) {
+	if _, err := FactorizeBTF(NewCOO(0, 0).ToCSR(), DefaultOptions()); err == nil {
+		t.Fatal("expected empty-matrix rejection")
+	}
+	if _, err := FactorizeBTF(GenDense(4, 1), DefaultOptions()); err != nil {
+		t.Fatalf("dense should factor as one block: %v", err)
+	}
+	// Numerically singular 1x1 block: [2x2 upper triangular with zero
+	// diagonal value but structural entry].
+	coo := NewCOO(2, 2)
+	coo.Add(0, 0, 0) // stored zero
+	coo.Add(0, 1, 1)
+	coo.Add(1, 1, 1)
+	if _, err := FactorizeBTF(coo.ToCSR(), DefaultOptions()); err == nil {
+		t.Fatal("expected singular 1x1 block error")
+	}
+}

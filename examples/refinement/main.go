@@ -1,0 +1,78 @@
+// Refinement: solving a badly scaled, ill-conditioned system the way a
+// production solver would — equilibrate, factorize with threshold pivoting,
+// estimate the condition number, and polish the solution with iterative
+// refinement until the componentwise backward error hits machine precision.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"sstar"
+)
+
+func main() {
+	// A circuit-like system whose rows span twelve orders of magnitude —
+	// the kind of scaling a device simulator produces.
+	a := sstar.GenCircuit(800, 4, sstar.GenOptions{Seed: 91, Convection: 0.5})
+	for i := 0; i < a.N; i++ {
+		_, vals := a.Row(i)
+		s := math.Pow(10, float64(i%13)-6)
+		for k := range vals {
+			vals[k] *= s
+		}
+	}
+	fmt.Printf("system: %d unknowns, %d nonzeros, row scales 1e-6..1e+6\n\n", a.N, a.Nnz())
+
+	// Step 1: equilibrate.
+	scaled, rowScale, colScale := sstar.Equilibrate(a)
+
+	// Step 2: factorize with relaxed (threshold) pivoting — fewer
+	// interchanges, cheaper communication in the parallel codes.
+	opts := sstar.DefaultOptions()
+	opts.PivotThreshold = 0.1
+	f, err := sstar.Factorize(scaled, opts)
+	if err != nil {
+		log.Fatalf("factorize: %v", err)
+	}
+	st := f.Stats(scaled)
+	fmt.Printf("factors: %d entries, %d interchanges, pivot growth %.2f, BLAS-3 share %.0f%%\n",
+		st.StorageEntries, st.Interchanges, st.GrowthFactor, 100*st.Blas3Fraction)
+
+	// Step 3: condition estimate on the scaled system.
+	fmt.Printf("estimated cond_1(scaled A): %.2e\n\n", f.CondEst(scaled))
+
+	// Step 4: solve + iterative refinement against the *scaled* system,
+	// then unscale.
+	xTrue := make([]float64, a.N)
+	for i := range xTrue {
+		xTrue[i] = math.Sin(float64(i))
+	}
+	b := make([]float64, a.N)
+	a.MulVec(xTrue, b)
+	rb := make([]float64, a.N)
+	for i := range rb {
+		rb[i] = rowScale[i] * b[i]
+	}
+	y, err := f.Solve(rb)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := f.Refine(scaled, y, rb, 1e-15, 8)
+	fmt.Printf("iterative refinement: %d iterations, backward error %.2e (converged=%v)\n",
+		res.Iterations, res.Berr, res.Converged)
+
+	x := make([]float64, a.N)
+	for j := range x {
+		x[j] = colScale[j] * y[j]
+	}
+	maxErr := 0.0
+	for i := range x {
+		if d := math.Abs(x[i] - xTrue[i]); d > maxErr {
+			maxErr = d
+		}
+	}
+	fmt.Printf("original system: residual %.2e, max forward error %.2e\n",
+		sstar.Residual(a, x, b), maxErr)
+}

@@ -1,0 +1,3 @@
+module sstar
+
+go 1.22

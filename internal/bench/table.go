@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result: headers, string rows and free-form
+// notes (the expected shape from the paper, caveats, parameters).
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	b.WriteString(t.Title)
+	b.WriteString("\n")
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		b.WriteString("note: ")
+		b.WriteString(n)
+		b.WriteString("\n")
+	}
+	return b.String()
+}

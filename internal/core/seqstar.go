@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+
+	"sstar/internal/ordering"
+	"sstar/internal/sparse"
+	"sstar/internal/supernode"
+	"sstar/internal/symbolic"
+	"sstar/internal/xblas"
+)
+
+// Symbolic bundles everything the numeric phases need that can be computed
+// once per structure and reused across factorizations (the "analyze" phase):
+// the preprocessing permutations, the static symbolic structure and the 2D
+// L/U partition.
+type Symbolic struct {
+	N         int
+	RowPerm   []int // transversal row permutation (old row -> new row)
+	ColPerm   []int // fill-reducing column permutation (old col -> new col)
+	Static    *symbolic.Static
+	Partition *supernode.Partition
+	// PivotTol enables threshold pivoting in the numeric phases: the
+	// diagonal candidate is kept whenever its magnitude is at least
+	// PivotTol times the column maximum, trading a little stability
+	// headroom for fewer row interchanges. 0 (or 1) means classical
+	// partial pivoting. The static structure is a valid bound for every
+	// threshold because it already covers all pivot choices.
+	PivotTol float64
+}
+
+// pivotTol normalizes the threshold.
+func (s *Symbolic) pivotTol() float64 {
+	if s.PivotTol <= 0 || s.PivotTol > 1 {
+		return 1
+	}
+	return s.PivotTol
+}
+
+// AnalyzeOptions configures the analyze phase.
+type AnalyzeOptions struct {
+	Supernode supernode.Options
+	// SkipOrdering keeps the matrix in its given row/column order (useful
+	// for experiments that supply a pre-ordered matrix).
+	SkipOrdering bool
+	// Ordering selects the fill-reducing column ordering: "mmd-ata" (the
+	// paper's multiple minimum degree on A^T A, the default) or "colmmd"
+	// (column minimum degree computed directly on A, COLMMD-style).
+	Ordering string
+}
+
+// Analyze runs the S* preprocessing pipeline on a: Duff's maximum transversal
+// for a zero-free diagonal, minimum-degree ordering of A^T A, the George–Ng
+// static symbolic factorization and the 2D L/U supernode partition.
+func Analyze(a *sparse.CSR, o AnalyzeOptions) *Symbolic {
+	n := a.N
+	sym := &Symbolic{N: n}
+	work := a
+	if o.SkipOrdering {
+		sym.RowPerm = sparse.IdentityPerm(n)
+		sym.ColPerm = sparse.IdentityPerm(n)
+	} else {
+		rp, _ := ordering.MaxTransversal(a)
+		work = a.PermuteRows(rp)
+		var cp []int
+		switch o.Ordering {
+		case "colmmd":
+			cp = ordering.ColumnMinDegree(work)
+		case "", "mmd-ata":
+			cp = ordering.MinimumDegree(sparse.ATAPattern(work))
+		default:
+			panic(fmt.Sprintf("core: unknown ordering %q", o.Ordering))
+		}
+		// The column permutation is applied symmetrically (rows follow
+		// columns) so the zero-free diagonal survives.
+		work = work.Permute(cp, cp)
+		sym.RowPerm = composePerm(rp, cp)
+		sym.ColPerm = cp
+	}
+	sym.Static = symbolic.Factorize(sparse.PatternOf(work))
+	sym.Partition = supernode.NewPartition(sym.Static, o.Supernode)
+	return sym
+}
+
+// composePerm returns the permutation applying p first, then q.
+func composePerm(p, q []int) []int {
+	out := make([]int, len(p))
+	for i := range p {
+		out[i] = q[p[i]]
+	}
+	return out
+}
+
+// PermutedMatrix returns P_r A P_c^T, the matrix the numeric factorization
+// actually works on.
+func (s *Symbolic) PermutedMatrix(a *sparse.CSR) *sparse.CSR {
+	return a.Permute(s.RowPerm, s.ColPerm)
+}
+
+// Factorization is the numeric result: the block matrix holds L (unit
+// diagonal implied) and U in place; Piv records, for every column m, the
+// global storage row interchanged into position m at elimination step m
+// (LINPACK-style lazy pivoting — interchanges were applied to trailing
+// columns only, so the triangular solves replay them panel by panel).
+type Factorization struct {
+	Sym *Symbolic
+	BM  *supernode.BlockMatrix
+	Piv []int32
+	Fl  Flops
+}
+
+// FactorizeSeq runs the sequential S* numeric factorization (Fig. 6): for
+// each block column, Factor(k) then Update(k, j) for every nonzero U_kj.
+func FactorizeSeq(a *sparse.CSR, sym *Symbolic) (*Factorization, error) {
+	work := sym.PermutedMatrix(a)
+	bm := supernode.NewBlockMatrix(sym.Partition, work)
+	ws := &Workspace{}
+	piv := make([]int32, sym.N)
+	p := sym.Partition
+	for k := 0; k < p.NB; k++ {
+		if err := FactorPanel(bm, k, piv, sym.pivotTol(), ws); err != nil {
+			return nil, err
+		}
+		for _, jb := range p.UBlocks[k] {
+			UpdatePanelPair(bm, k, int(jb), piv, ws)
+		}
+	}
+	return &Factorization{Sym: sym, BM: bm, Piv: piv, Fl: ws.Fl}, nil
+}
+
+// Solve solves A x = b for the original (unpermuted) system.
+func (f *Factorization) Solve(b []float64) []float64 {
+	n := f.Sym.N
+	p := f.Sym.Partition
+	bm := f.BM
+	y := make([]float64, n)
+	// Apply the analyze-phase row permutation: row i of A is row RowPerm[i]
+	// of the working matrix.
+	for i := 0; i < n; i++ {
+		y[f.Sym.RowPerm[i]] = b[i]
+	}
+	// Forward sweep, panel by panel: replay the panel's interchanges, solve
+	// against the diagonal block's unit-lower part, then eliminate the L
+	// blocks below.
+	for k := 0; k < p.NB; k++ {
+		start, end := p.Start[k], p.Start[k+1]
+		s := end - start
+		for m := start; m < end; m++ {
+			if t := int(f.Piv[m]); t != m {
+				y[m], y[t] = y[t], y[m]
+			}
+		}
+		d := bm.Diag[k]
+		xblas.TrsvLowerUnit(s, d.Data, s, y[start:end])
+		for _, lb := range bm.LCol[k] {
+			nc := len(lb.Cols)
+			for r, gr := range lb.Rows {
+				y[gr] -= xblas.Dot(lb.Data[r*nc:(r+1)*nc], y[start:end])
+			}
+		}
+	}
+	// Backward sweep.
+	for k := p.NB - 1; k >= 0; k-- {
+		start, end := p.Start[k], p.Start[k+1]
+		s := end - start
+		for _, ub := range bm.URow[k] {
+			nc := len(ub.Cols)
+			for r := 0; r < s; r++ {
+				sum := 0.0
+				row := ub.Data[r*nc : (r+1)*nc]
+				for q, c := range ub.Cols {
+					sum += row[q] * y[c]
+				}
+				y[start+r] -= sum
+			}
+		}
+		d := bm.Diag[k]
+		xblas.TrsvUpper(s, d.Data, s, y[start:end])
+	}
+	// Undo the column permutation: working column ColPerm[j] is variable j.
+	x := make([]float64, n)
+	for j := 0; j < n; j++ {
+		x[j] = y[f.Sym.ColPerm[j]]
+	}
+	return x
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"sort"
+
+	"sstar/internal/machine"
+	"sstar/internal/supernode"
+	"sstar/internal/xblas"
+)
+
+// Tag kinds of the distributed triangular solver.
+const (
+	tagFwdContrib uint8 = iota + 32
+	tagFwdSwap
+	tagBwdContrib
+)
+
+// SolveResult is the outcome of a distributed solve.
+type SolveResult struct {
+	X            []float64
+	ParallelTime float64
+	SentBytes    int64
+	SentMessages int64
+}
+
+// SolvePar1D solves A x = b on the virtual machine with the factors
+// distributed by block column: owner[j] names the processor holding block
+// column j (use the owner map of the schedule that produced the
+// factorization). The forward sweep interleaves the panel pivot exchanges
+// with fan-in contribution messages exactly as the sequential solve does, so
+// the result matches the sequential Solve; the backward sweep is a pure
+// fan-in. The returned parallel time demonstrates the paper's remark that the
+// triangular solvers are much cheaper than the factorization.
+func SolvePar1D(f *Factorization, owner []int, nproc int, model machine.Model, b []float64) (*SolveResult, error) {
+	sym := f.Sym
+	p := sym.Partition
+	bm := f.BM
+	n := sym.N
+	mach := machine.New(nproc, model)
+
+	// Shared solution vector; ownership discipline follows the messages.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		y[sym.RowPerm[i]] = b[i]
+	}
+
+	// Static event structure: for each panel k, the L target blocks (fan-out
+	// of forward contributions) and U source columns (fan-in of backward
+	// contributions) at block granularity.
+	pt, err := runMachine(mach, func(proc *machine.Proc) {
+		me := proc.ID()
+		// ---- Forward sweep: L y' = P b, panel by panel. ----
+		for k := 0; k < p.NB; k++ {
+			start, end := p.Start[k], p.Start[k+1]
+			s := end - start
+			// 1. Pivot exchanges of panel k (they precede the panel solve).
+			for m := start; m < end; m++ {
+				t := int(f.Piv[m])
+				if t == m {
+					continue
+				}
+				bt := p.BlockOf[t]
+				ownK, ownT := owner[k] == me, owner[bt] == me
+				switch {
+				case ownK && ownT:
+					y[m], y[t] = y[t], y[m]
+				case ownK:
+					proc.Send(owner[bt], machine.Tag{Kind: tagFwdSwap, K: k, Aux: m}, 8, y[m])
+					y[m] = proc.Recv(machine.Tag{Src: owner[bt], Kind: tagFwdSwap, K: k, Aux: m}).(float64)
+				case ownT:
+					proc.Send(owner[k], machine.Tag{Kind: tagFwdSwap, K: k, Aux: m}, 8, y[t])
+					y[t] = proc.Recv(machine.Tag{Src: owner[k], Kind: tagFwdSwap, K: k, Aux: m}).(float64)
+				}
+			}
+			if owner[k] == me {
+				// 2. Solve the panel against the unit-lower diagonal part.
+				d := bm.Diag[k]
+				xblas.TrsvLowerUnit(s, d.Data, s, y[start:end])
+				proc.ChargeFlops(0, int64(s)*int64(s-1), 0, 0)
+				// 3. Eliminate: per L block, compute the contribution and
+				// deliver it (locally or by message).
+				for _, lb := range bm.LCol[k] {
+					nc := len(lb.Cols)
+					vals := make([]float64, len(lb.Rows))
+					for r := range lb.Rows {
+						vals[r] = xblas.Dot(lb.Data[r*nc:(r+1)*nc], y[start:end])
+					}
+					proc.ChargeFlops(0, 2*int64(len(lb.Rows))*int64(s), 0, 0)
+					if owner[lb.I] == me {
+						for r, gr := range lb.Rows {
+							y[gr] -= vals[r]
+						}
+					} else {
+						proc.Send(owner[lb.I], machine.Tag{Kind: tagFwdContrib, K: k, Aux: lb.I},
+							8*len(vals), vals)
+					}
+				}
+			} else {
+				// 3'. Apply the contributions of panel k that target my
+				// panels.
+				for _, myBlk := range myLTargets(p, owner, me, k) {
+					lb := bm.BlockAt(myBlk, k)
+					vals := proc.Recv(machine.Tag{Src: owner[k], Kind: tagFwdContrib, K: k, Aux: myBlk}).([]float64)
+					for r, gr := range lb.Rows {
+						y[gr] -= vals[r]
+					}
+					proc.ChargeFlops(int64(len(vals)), 0, 0, 0)
+				}
+			}
+		}
+		// ---- Backward sweep: U x = y', panels in reverse. ----
+		for k := p.NB - 1; k >= 0; k-- {
+			start, end := p.Start[k], p.Start[k+1]
+			s := end - start
+			if owner[k] != me {
+				// Send my column blocks' contributions to row k when I own
+				// a later panel j with U_kj nonzero — handled from the
+				// owner[j] side below, nothing to do here.
+				continue
+			}
+			// Collect contributions from later panels (local ones were
+			// applied when those panels were processed — see below), then
+			// remote fan-in sorted by source for determinism.
+			var srcs []int
+			for _, j := range contributorsOfRow(p, k) {
+				if owner[j] != me {
+					srcs = append(srcs, j)
+				}
+			}
+			sort.Ints(srcs)
+			for _, j := range srcs {
+				vals := proc.Recv(machine.Tag{Src: owner[j], Kind: tagBwdContrib, K: j, Aux: k}).([]float64)
+				for i := 0; i < s; i++ {
+					y[start+i] -= vals[i]
+				}
+				proc.ChargeFlops(int64(s), 0, 0, 0)
+			}
+			// Solve against the upper-triangular diagonal part.
+			d := bm.Diag[k]
+			xblas.TrsvUpper(s, d.Data, s, y[start:end])
+			proc.ChargeFlops(0, int64(s)*int64(s), 0, 0)
+			// Produce contributions of my panel to earlier row panels: the
+			// U blocks (i, k) live in MY block column k.
+			for i := k - 1; i >= 0; i-- {
+				ub := bm.BlockAt(i, k)
+				if ub == nil {
+					continue
+				}
+				si := p.Size(i)
+				nc := len(ub.Cols)
+				vals := make([]float64, si)
+				for r := 0; r < si; r++ {
+					sum := 0.0
+					row := ub.Data[r*nc : (r+1)*nc]
+					for q, c := range ub.Cols {
+						sum += row[q] * y[c]
+					}
+					vals[r] = sum
+				}
+				proc.ChargeFlops(0, 2*int64(si)*int64(nc), 0, 0)
+				if owner[i] == me {
+					for r := 0; r < si; r++ {
+						y[p.Start[i]+r] -= vals[r]
+					}
+				} else {
+					proc.Send(owner[i], machine.Tag{Kind: tagBwdContrib, K: k, Aux: i}, 8*si, vals)
+				}
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	x := make([]float64, n)
+	for j := 0; j < n; j++ {
+		x[j] = y[sym.ColPerm[j]]
+	}
+	var bytes, msgs int64
+	for i := 0; i < nproc; i++ {
+		bytes += mach.Proc(i).SentBytes
+		msgs += mach.Proc(i).SentMessages
+	}
+	return &SolveResult{X: x, ParallelTime: pt, SentBytes: bytes, SentMessages: msgs}, nil
+}
+
+// myLTargets lists the row blocks i of the L blocks in column k whose panels
+// the given processor owns, in ascending order (the deterministic receive
+// order of the forward sweep).
+func myLTargets(p *supernode.Partition, owner []int, me, k int) []int {
+	var out []int
+	for _, ib := range p.LBlocks[k] {
+		if owner[ib] == me {
+			out = append(out, int(ib))
+		}
+	}
+	return out
+}
+
+// contributorsOfRow lists the panels j > k with U_kj nonzero (the backward
+// fan-in sources of panel k).
+func contributorsOfRow(p *supernode.Partition, k int) []int {
+	out := make([]int, len(p.UBlocks[k]))
+	for i, jb := range p.UBlocks[k] {
+		out[i] = int(jb)
+	}
+	return out
+}

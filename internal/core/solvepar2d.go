@@ -1,0 +1,250 @@
+package core
+
+import (
+	"sstar/internal/machine"
+	"sstar/internal/xblas"
+)
+
+// Tag kinds of the 2D distributed triangular solver.
+const (
+	tagFwd2DY uint8 = iota + 48
+	tagFwd2DContrib
+	tagFwd2DSwap
+	tagBwd2DX
+	tagBwd2DContrib
+)
+
+// SolvePar2D solves A x = b on the virtual machine with the factors
+// distributed block-cyclically over a pr x pc grid exactly as Factorize2D
+// leaves them: block (i, j) at processor (i mod pr, j mod pc), solution
+// segment k at the owner of diagonal block k.
+//
+// Forward sweep per panel k: the pivot interchanges exchange scalars between
+// the diagonal owners involved; the diagonal owner solves against L_kk and
+// multicasts the segment down its processor column; the owners of the L
+// blocks (i, k) compute their contributions and ship them along their
+// processor rows to the diagonal owners of the target panels. The backward
+// sweep mirrors this through the U blocks.
+func SolvePar2D(f *Factorization, pr, pc int, model machine.Model, b []float64) (*SolveResult, error) {
+	sym := f.Sym
+	p := sym.Partition
+	bm := f.BM
+	n := sym.N
+	nproc := pr * pc
+	mach := machine.New(nproc, model)
+
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		y[sym.RowPerm[i]] = b[i]
+	}
+	id := func(r, c int) int { return r*pc + c }
+	diagOf := func(k int) int { return id(k%pr, k%pc) }
+	// Static per-panel row sets: processor rows holding L blocks of column k
+	// (forward multicast targets) and U blocks of column k (backward).
+	lRowsOf := make([][]int, p.NB)
+	uRowsOf := make([][]int, p.NB)
+	for k := 0; k < p.NB; k++ {
+		lRowsOf[k] = procRowsOf(p.LBlocks[k], pr)
+		for _, jb := range p.UBlocks[k] {
+			j := int(jb)
+			uRowsOf[j] = appendUniqueInt(uRowsOf[j], k%pr)
+		}
+	}
+
+	pt, err := runMachine(mach, func(proc *machine.Proc) {
+		me := proc.ID()
+		r, c := me/pc, me%pc
+		// ---- Forward sweep. ----
+		for k := 0; k < p.NB; k++ {
+			start, end := p.Start[k], p.Start[k+1]
+			s := end - start
+			// Pivot exchanges between diagonal owners.
+			for m := start; m < end; m++ {
+				t := int(f.Piv[m])
+				if t == m {
+					continue
+				}
+				dk, dt := diagOf(k), diagOf(p.BlockOf[t])
+				switch {
+				case me == dk && me == dt:
+					y[m], y[t] = y[t], y[m]
+				case me == dk:
+					proc.Send(dt, machine.Tag{Kind: tagFwd2DSwap, K: k, Aux: m}, 8, y[m])
+					y[m] = proc.Recv(machine.Tag{Src: dt, Kind: tagFwd2DSwap, K: k, Aux: m}).(float64)
+				case me == dt:
+					proc.Send(dk, machine.Tag{Kind: tagFwd2DSwap, K: k, Aux: m}, 8, y[t])
+					y[t] = proc.Recv(machine.Tag{Src: dk, Kind: tagFwd2DSwap, K: k, Aux: m}).(float64)
+				}
+			}
+			// Diagonal solve and column multicast of the segment.
+			if me == diagOf(k) {
+				d := bm.Diag[k]
+				xblas.TrsvLowerUnit(s, d.Data, s, y[start:end])
+				proc.ChargeFlops(0, int64(s)*int64(s-1), 0, 0)
+				if pr > 1 {
+					dsts := make([]int, 0, pr-1)
+					for _, rr := range lRowsOf[k] {
+						if rr != r {
+							dsts = append(dsts, id(rr, k%pc))
+						}
+					}
+					if len(dsts) > 0 {
+						proc.Multicast(dsts, machine.Tag{Kind: tagFwd2DY, K: k}, 8*s, nil)
+					}
+				}
+			}
+			// L-block owners: compute and ship contributions.
+			if c == k%pc {
+				received := false
+				for _, lb := range bm.LCol[k] {
+					if lb.I%pr != r {
+						continue
+					}
+					if me != diagOf(k) && !received {
+						proc.Recv(machine.Tag{Src: diagOf(k), Kind: tagFwd2DY, K: k})
+						received = true
+					}
+					nc := len(lb.Cols)
+					vals := make([]float64, len(lb.Rows))
+					for rr := range lb.Rows {
+						vals[rr] = xblas.Dot(lb.Data[rr*nc:(rr+1)*nc], y[start:end])
+					}
+					proc.ChargeFlops(0, 2*int64(len(lb.Rows))*int64(s), 0, 0)
+					dst := diagOf(lb.I)
+					if dst == me {
+						for rr, gr := range lb.Rows {
+							y[gr] -= vals[rr]
+						}
+					} else {
+						proc.Send(dst, machine.Tag{Kind: tagFwd2DContrib, K: k, Aux: lb.I},
+							8*len(vals), vals)
+					}
+				}
+			}
+			// Diagonal owners of later panels: absorb the contributions of
+			// panel k that target them (event order = panel order).
+			for _, ib := range p.LBlocks[k] {
+				i := int(ib)
+				if me != diagOf(i) {
+					continue
+				}
+				src := id(i%pr, k%pc)
+				if src == me {
+					continue // applied locally above
+				}
+				lb := bm.BlockAt(i, k)
+				vals := proc.Recv(machine.Tag{Src: src, Kind: tagFwd2DContrib, K: k, Aux: i}).([]float64)
+				for rr, gr := range lb.Rows {
+					y[gr] -= vals[rr]
+				}
+				proc.ChargeFlops(int64(len(vals)), 0, 0, 0)
+			}
+		}
+		// ---- Backward sweep. ----
+		for k := p.NB - 1; k >= 0; k-- {
+			start, end := p.Start[k], p.Start[k+1]
+			s := end - start
+			if me == diagOf(k) {
+				// Absorb contributions from later panels, fixed source
+				// order for determinism.
+				for _, jb := range p.UBlocks[k] {
+					j := int(jb)
+					src := id(k%pr, j%pc)
+					if src == me {
+						continue // applied locally below, when panel j ran
+					}
+					vals := proc.Recv(machine.Tag{Src: src, Kind: tagBwd2DContrib, K: j, Aux: k}).([]float64)
+					for i := 0; i < s; i++ {
+						y[start+i] -= vals[i]
+					}
+					proc.ChargeFlops(int64(s), 0, 0, 0)
+				}
+				d := bm.Diag[k]
+				xblas.TrsvUpper(s, d.Data, s, y[start:end])
+				proc.ChargeFlops(0, int64(s)*int64(s), 0, 0)
+				// Multicast the solved segment up my processor column for
+				// the U-block owners of block column k.
+				if pr > 1 {
+					dsts := make([]int, 0, pr-1)
+					for _, rr := range uRowsOf[k] {
+						if rr != r {
+							dsts = append(dsts, id(rr, k%pc))
+						}
+					}
+					if len(dsts) > 0 {
+						proc.Multicast(dsts, machine.Tag{Kind: tagBwd2DX, K: k}, 8*s, nil)
+					}
+				}
+			}
+			// U-block owners in block column k: compute contributions for
+			// their row panels i < k and ship them along the processor row.
+			if c == k%pc {
+				received := me == diagOf(k)
+				for i := k - 1; i >= 0; i-- {
+					if i%pr != r {
+						continue
+					}
+					ub := bm.BlockAt(i, k)
+					if ub == nil {
+						continue
+					}
+					if !received {
+						proc.Recv(machine.Tag{Src: diagOf(k), Kind: tagBwd2DX, K: k})
+						received = true
+					}
+					si := p.Size(i)
+					nc := len(ub.Cols)
+					vals := make([]float64, si)
+					for rr := 0; rr < si; rr++ {
+						sum := 0.0
+						row := ub.Data[rr*nc : (rr+1)*nc]
+						for q, cc := range ub.Cols {
+							sum += row[q] * y[cc]
+						}
+						vals[rr] = sum
+					}
+					proc.ChargeFlops(0, 2*int64(si)*int64(nc), 0, 0)
+					dst := diagOf(i)
+					if dst == me {
+						for rr := 0; rr < si; rr++ {
+							y[p.Start[i]+rr] -= vals[rr]
+						}
+					} else {
+						proc.Send(dst, machine.Tag{Kind: tagBwd2DContrib, K: k, Aux: i}, 8*si, vals)
+					}
+				}
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	x := make([]float64, n)
+	for j := 0; j < n; j++ {
+		x[j] = y[sym.ColPerm[j]]
+	}
+	var bytes, msgs int64
+	for i := 0; i < nproc; i++ {
+		bytes += mach.Proc(i).SentBytes
+		msgs += mach.Proc(i).SentMessages
+	}
+	return &SolveResult{X: x, ParallelTime: pt, SentBytes: bytes, SentMessages: msgs}, nil
+}
+
+// procRowsOf maps block indices to the distinct processor rows holding them.
+func procRowsOf(blocks []int32, pr int) []int {
+	var out []int
+	for _, b := range blocks {
+		out = appendUniqueInt(out, int(b)%pr)
+	}
+	return out
+}
+
+func appendUniqueInt(xs []int, v int) []int {
+	for _, x := range xs {
+		if x == v {
+			return xs
+		}
+	}
+	return append(xs, v)
+}

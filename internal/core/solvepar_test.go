@@ -1,0 +1,191 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"sstar/internal/machine"
+	"sstar/internal/sched"
+	"sstar/internal/sparse"
+)
+
+func TestSolvePar1DMatchesSequential(t *testing.T) {
+	a := sparse.Grid2D(11, 11, false, sparse.GenOptions{Seed: 85, WeakDiagFraction: 0.15, Convection: 0.4})
+	sym := analyzeFor(t, a, 8, 4)
+	for _, nproc := range []int{1, 2, 4, 7} {
+		s := ScheduleCA(sym, nproc)
+		res, err := Factorize1D(a, sym, machine.T3E(), s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := randRHS(a.N, 86)
+		xSeq := res.Fact.Solve(b)
+		sr, err := SolvePar1D(res.Fact, s.Owner, nproc, machine.T3E(), b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range sr.X {
+			if math.Abs(sr.X[i]-xSeq[i]) > 1e-11*(1+math.Abs(xSeq[i])) {
+				t.Fatalf("P=%d: distributed solve differs at %d: %g vs %g", nproc, i, sr.X[i], xSeq[i])
+			}
+		}
+		if r := residual(a, sr.X, b); r > 1e-9 {
+			t.Fatalf("P=%d: residual %g", nproc, r)
+		}
+		if nproc == 1 && sr.SentMessages != 0 {
+			t.Fatalf("single-processor solve sent %d messages", sr.SentMessages)
+		}
+		if sr.ParallelTime <= 0 {
+			t.Fatal("non-positive solve time")
+		}
+	}
+}
+
+func TestSolvePar1DWithRAPIDOwners(t *testing.T) {
+	a := sparse.Circuit(150, 3, sparse.GenOptions{Seed: 87})
+	sym := analyzeFor(t, a, 8, 4)
+	model := machine.T3E()
+	s := ScheduleRAPID(sym, 4, model)
+	res, err := Factorize1D(a, sym, model, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := randRHS(a.N, 88)
+	sr, err := SolvePar1D(res.Fact, s.Owner, 4, model, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := residual(a, sr.X, b); r > 1e-9 {
+		t.Fatalf("residual %g", r)
+	}
+}
+
+// TestSolveMuchCheaperThanFactor checks the paper's Section 2 remark: "the
+// triangular solvers are much less time consuming than the Gaussian
+// elimination process".
+func TestSolveMuchCheaperThanFactor(t *testing.T) {
+	a := sparse.Grid2D(32, 32, false, sparse.GenOptions{Seed: 89})
+	sym := analyzeFor(t, a, 25, 4)
+	model := machine.T3E()
+	s := ScheduleCA(sym, 4)
+	res, err := Factorize1D(a, sym, model, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := randRHS(a.N, 90)
+	sr, err := SolvePar1D(res.Fact, s.Owner, 4, model, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.ParallelTime*3 > res.ParallelTime {
+		t.Fatalf("solve time %v not well below factor time %v", sr.ParallelTime, res.ParallelTime)
+	}
+}
+
+func TestSolvePar1DDeterministicTime(t *testing.T) {
+	a := sparse.Grid2D(9, 9, false, sparse.GenOptions{Seed: 91, WeakDiagFraction: 0.2})
+	sym := analyzeFor(t, a, 6, 3)
+	s := ScheduleCA(sym, 3)
+	res, err := Factorize1D(a, sym, machine.T3D(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := randRHS(a.N, 92)
+	var first float64 = -1
+	for i := 0; i < 4; i++ {
+		sr, err := SolvePar1D(res.Fact, s.Owner, 3, machine.T3D(), b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first < 0 {
+			first = sr.ParallelTime
+		} else if sr.ParallelTime != first {
+			t.Fatalf("solve time not deterministic: %v vs %v", sr.ParallelTime, first)
+		}
+	}
+}
+
+// Exercise the owner-map flexibility: a deliberately bad (all-on-one) owner
+// map must still give correct answers.
+func TestSolvePar1DDegenerateOwners(t *testing.T) {
+	a := sparse.RandomSparse(80, 3, 93)
+	sym := analyzeFor(t, a, 8, 4)
+	owner := make([]int, sym.Partition.NB)
+	for i := range owner {
+		owner[i] = 1 // everything on processor 1 of 3
+	}
+	res, err := Factorize1D(a, sym, machine.Unit(), &sched.Schedule{P: 3, Owner: owner, Order: ordersFor(sym, owner, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := randRHS(a.N, 94)
+	sr, err := SolvePar1D(res.Fact, owner, 3, machine.Unit(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := residual(a, sr.X, b); r > 1e-9 {
+		t.Fatalf("residual %g", r)
+	}
+}
+
+// ordersFor builds a valid sequential task order for an owner map (helper for
+// the degenerate-owner test).
+func ordersFor(sym *Symbolic, owner []int, nproc int) [][]int {
+	g := scheduleGraph(sym)
+	order := make([][]int, nproc)
+	for _, id := range g.TopoOrder() {
+		t := g.Tasks[id]
+		order[owner[t.J]] = append(order[owner[t.J]], id)
+	}
+	return order
+}
+
+func TestSolvePar2DMatchesSequential(t *testing.T) {
+	a := sparse.Grid2D(11, 11, false, sparse.GenOptions{Seed: 95, WeakDiagFraction: 0.15, Convection: 0.4})
+	sym := analyzeFor(t, a, 8, 4)
+	for _, grid := range [][2]int{{1, 1}, {1, 3}, {2, 2}, {2, 4}, {3, 2}} {
+		res, err := Factorize2D(a, sym, machine.T3E(), grid[0], grid[1], true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := randRHS(a.N, 96)
+		xSeq := res.Fact.Solve(b)
+		sr, err := SolvePar2D(res.Fact, grid[0], grid[1], machine.T3E(), b)
+		if err != nil {
+			t.Fatalf("grid %v: %v", grid, err)
+		}
+		for i := range sr.X {
+			if math.Abs(sr.X[i]-xSeq[i]) > 1e-11*(1+math.Abs(xSeq[i])) {
+				t.Fatalf("grid %v: 2D solve differs at %d: %g vs %g", grid, i, sr.X[i], xSeq[i])
+			}
+		}
+		if r := residual(a, sr.X, b); r > 1e-9 {
+			t.Fatalf("grid %v: residual %g", grid, r)
+		}
+	}
+}
+
+func TestSolvePar2DDeterministicAndCheap(t *testing.T) {
+	a := sparse.Grid2D(20, 20, false, sparse.GenOptions{Seed: 97})
+	sym := analyzeFor(t, a, 16, 4)
+	res, err := Factorize2D(a, sym, machine.T3E(), 2, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := randRHS(a.N, 98)
+	var first float64 = -1
+	for i := 0; i < 3; i++ {
+		sr, err := SolvePar2D(res.Fact, 2, 4, machine.T3E(), b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first < 0 {
+			first = sr.ParallelTime
+		} else if sr.ParallelTime != first {
+			t.Fatalf("2D solve time not deterministic: %v vs %v", sr.ParallelTime, first)
+		}
+	}
+	if first >= res.ParallelTime {
+		t.Fatalf("2D solve %v not cheaper than factorization %v", first, res.ParallelTime)
+	}
+}

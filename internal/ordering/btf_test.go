@@ -1,0 +1,155 @@
+package ordering
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sstar/internal/sparse"
+)
+
+// checkBTF verifies the defining property: after applying the permutations,
+// every entry lies on or above its block diagonal.
+func checkBTF(t *testing.T, a *sparse.CSR, rowPerm, colPerm, starts []int) {
+	t.Helper()
+	if !sparse.IsPerm(rowPerm) || !sparse.IsPerm(colPerm) {
+		t.Fatal("BTF permutations invalid")
+	}
+	if starts[0] != 0 || starts[len(starts)-1] != a.N {
+		t.Fatalf("block starts %v do not cover the matrix", starts)
+	}
+	blockOf := make([]int, a.N)
+	for b := 0; b+1 < len(starts); b++ {
+		for c := starts[b]; c < starts[b+1]; c++ {
+			blockOf[c] = b
+		}
+	}
+	p := a.Permute(rowPerm, colPerm)
+	if !p.HasZeroFreeDiagonal() {
+		t.Fatal("BTF lost the zero-free diagonal")
+	}
+	for i := 0; i < p.N; i++ {
+		cols, _ := p.Row(i)
+		for _, j := range cols {
+			if blockOf[i] > blockOf[j] {
+				t.Fatalf("entry (%d,%d) below the block diagonal (blocks %d > %d)",
+					i, j, blockOf[i], blockOf[j])
+			}
+		}
+	}
+}
+
+func TestBlockTriangularConstructed(t *testing.T) {
+	// Build a 3-block upper triangular matrix, scramble it, and require the
+	// decomposition to recover exactly 3 blocks.
+	n := 12
+	sizes := []int{5, 4, 3}
+	coo := sparse.NewCOO(n, n)
+	lo := 0
+	for _, s := range sizes {
+		// Strongly connected diagonal block: a cycle plus diagonal.
+		for i := 0; i < s; i++ {
+			coo.Add(lo+i, lo+i, 2)
+			coo.Add(lo+i, lo+(i+1)%s, 1)
+		}
+		lo += s
+	}
+	// Couplings strictly above the block diagonal.
+	coo.Add(0, 6, 1)
+	coo.Add(5, 10, 1)
+	a := coo.ToCSR()
+	rng := rand.New(rand.NewSource(7))
+	rp := rng.Perm(n)
+	cp := rng.Perm(n)
+	scrambled := a.Permute(rp, cp)
+	rowPerm, colPerm, starts := BlockTriangular(scrambled)
+	checkBTF(t, scrambled, rowPerm, colPerm, starts)
+	if got := len(starts) - 1; got != 3 {
+		t.Fatalf("recovered %d blocks, want 3 (starts %v)", got, starts)
+	}
+}
+
+func TestBlockTriangularIrreducible(t *testing.T) {
+	// A strongly connected matrix must come back as a single block.
+	n := 9
+	coo := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, 2)
+		coo.Add(i, (i+1)%n, 1) // one big cycle
+	}
+	_, _, starts := BlockTriangular(coo.ToCSR())
+	if len(starts) != 2 {
+		t.Fatalf("irreducible matrix split into %d blocks", len(starts)-1)
+	}
+}
+
+func TestBlockTriangularDiagonal(t *testing.T) {
+	// Fully decoupled: n blocks of size 1.
+	n := 6
+	coo := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, 1)
+	}
+	a := coo.ToCSR()
+	rowPerm, colPerm, starts := BlockTriangular(a)
+	checkBTF(t, a, rowPerm, colPerm, starts)
+	if len(starts)-1 != n {
+		t.Fatalf("diagonal matrix gave %d blocks, want %d", len(starts)-1, n)
+	}
+}
+
+func TestBlockTriangularProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(50)
+		a := sparse.RandomSparse(n, 1+rng.Intn(3), seed)
+		rowPerm, colPerm, starts := BlockTriangular(a)
+		if !sparse.IsPerm(rowPerm) || !sparse.IsPerm(colPerm) {
+			return false
+		}
+		if starts[0] != 0 || starts[len(starts)-1] != n {
+			return false
+		}
+		blockOf := make([]int, n)
+		for b := 0; b+1 < len(starts); b++ {
+			for c := starts[b]; c < starts[b+1]; c++ {
+				blockOf[c] = b
+			}
+		}
+		p := a.Permute(rowPerm, colPerm)
+		if !p.HasZeroFreeDiagonal() {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			cols, _ := p.Row(i)
+			for _, j := range cols {
+				if blockOf[i] > blockOf[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockTriangularDeepChain(t *testing.T) {
+	// A long chain (each block feeds the next) must not overflow the
+	// iterative Tarjan and must give n singleton blocks.
+	n := 5000
+	coo := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, 1)
+		if i+1 < n {
+			coo.Add(i, i+1, 1)
+		}
+	}
+	a := coo.ToCSR()
+	rowPerm, colPerm, starts := BlockTriangular(a)
+	if len(starts)-1 != n {
+		t.Fatalf("chain gave %d blocks, want %d", len(starts)-1, n)
+	}
+	checkBTF(t, a, rowPerm, colPerm, starts)
+}

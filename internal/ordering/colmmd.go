@@ -1,0 +1,151 @@
+package ordering
+
+import (
+	"container/heap"
+
+	"sstar/internal/sparse"
+)
+
+// ColumnMinDegree computes a fill-reducing column ordering for sparse LU
+// directly on the structure of A, in the spirit of COLMMD/COLAMD: columns are
+// eliminated greedily by (approximate) degree, and eliminating a column
+// merges every row that contains it into a single "element" row — exactly the
+// row-merge model of Gaussian elimination with row pivoting, and the implicit
+// counterpart of running minimum degree on AᵀA without ever forming it.
+//
+// The returned perm maps old column index to elimination position.
+func ColumnMinDegree(a *sparse.CSR) []int {
+	n, m := a.N, a.M
+	// Working row structures (column id lists) and column->rows incidence.
+	rows := make([][]int32, n)
+	rowLive := make([]bool, n)
+	for i := 0; i < n; i++ {
+		cols, _ := a.Row(i)
+		rs := make([]int32, len(cols))
+		for k, c := range cols {
+			rs[k] = int32(c)
+		}
+		rows[i] = rs
+		rowLive[i] = true
+	}
+	colRows := make([][]int32, m)
+	for i := 0; i < n; i++ {
+		for _, c := range rows[i] {
+			colRows[c] = append(colRows[c], int32(i))
+		}
+	}
+	colDead := make([]bool, m)
+	// Approximate degree: sum over incident live rows of (row length - 1).
+	// Each call also compacts the incidence list, pruning dead rows and the
+	// duplicates left behind by element merging.
+	rowMark := make([]int, n)
+	for i := range rowMark {
+		rowMark[i] = -1
+	}
+	stamp := 0
+	deg := func(j int) int {
+		stamp++
+		d := 0
+		out := colRows[j][:0]
+		for _, r := range colRows[j] {
+			if rowLive[r] && rowMark[r] != stamp {
+				rowMark[r] = stamp
+				out = append(out, r)
+				d += len(rows[r]) - 1
+			}
+		}
+		colRows[j] = out
+		return d
+	}
+	pq := &degreeHeap{}
+	heap.Init(pq)
+	for j := 0; j < m; j++ {
+		heap.Push(pq, degreeEntry{col: j, deg: deg(j)})
+	}
+	perm := make([]int, m)
+	pos := 0
+	marker := make([]int, m)
+	for i := range marker {
+		marker[i] = -1
+	}
+	for pq.Len() > 0 {
+		e := heap.Pop(pq).(degreeEntry)
+		j := e.col
+		if colDead[j] {
+			continue
+		}
+		if d := deg(j); d != e.deg {
+			// Stale entry: re-push with the fresh degree (lazy updates).
+			heap.Push(pq, degreeEntry{col: j, deg: d})
+			continue
+		}
+		// Eliminate column j: merge its live rows into one element row.
+		colDead[j] = true
+		perm[j] = pos
+		pos++
+		var merged []int32
+		var affected []int32
+		first := int32(-1)
+		for _, r := range colRows[j] {
+			if !rowLive[r] {
+				continue
+			}
+			if first < 0 {
+				first = r
+			}
+			for _, c := range rows[r] {
+				if int(c) != j && !colDead[c] && marker[c] != j {
+					marker[c] = j
+					merged = append(merged, c)
+					affected = append(affected, c)
+				}
+			}
+			rowLive[r] = false
+			rows[r] = nil
+		}
+		if first >= 0 {
+			// Revive the first row as the merged element.
+			rowLive[first] = true
+			rows[first] = merged
+			for _, c := range merged {
+				colRows[c] = append(colRows[c], first)
+			}
+		}
+		// Lazy degree refresh: push fresh entries for the affected columns.
+		for _, c := range affected {
+			heap.Push(pq, degreeEntry{col: int(c), deg: deg(int(c))})
+		}
+	}
+	// Columns never seen (empty columns) keep stable trailing positions.
+	for j := 0; j < m; j++ {
+		if !colDead[j] {
+			perm[j] = pos
+			pos++
+		}
+	}
+	return perm
+}
+
+type degreeEntry struct {
+	col int
+	deg int
+}
+
+type degreeHeap []degreeEntry
+
+func (h degreeHeap) Len() int { return len(h) }
+func (h degreeHeap) Less(i, j int) bool {
+	if h[i].deg != h[j].deg {
+		return h[i].deg < h[j].deg
+	}
+	return h[i].col < h[j].col
+}
+func (h degreeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *degreeHeap) Push(x any)   { *h = append(*h, x.(degreeEntry)) }
+func (h *degreeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,110 @@
+package ordering
+
+import "sstar/internal/sparse"
+
+// EliminationTree computes the elimination tree of a symmetric pattern using
+// Liu's path-compression algorithm. parent[v] == -1 marks a root. Only the
+// lower-triangular part of the pattern is consulted.
+func EliminationTree(s *sparse.Pattern) []int {
+	n := s.N
+	parent := make([]int, n)
+	ancestor := make([]int, n)
+	for i := 0; i < n; i++ {
+		parent[i] = -1
+		ancestor[i] = -1
+		for _, j := range s.Row(i) {
+			if j >= i {
+				continue
+			}
+			// Walk from j to the root of its current subtree, compressing.
+			for j != -1 && j < i {
+				next := ancestor[j]
+				ancestor[j] = i
+				if next == -1 {
+					parent[j] = i
+				}
+				j = next
+			}
+		}
+	}
+	return parent
+}
+
+// Postorder returns a postordering of the forest given by parent pointers:
+// the returned perm maps old index to new index, children before parents, and
+// every subtree is a contiguous index range.
+func Postorder(parent []int) []int {
+	n := len(parent)
+	firstChild := make([]int, n)
+	sibling := make([]int, n)
+	for i := range firstChild {
+		firstChild[i] = -1
+		sibling[i] = -1
+	}
+	// Link children in reverse so traversal visits lower indices first.
+	for i := n - 1; i >= 0; i-- {
+		p := parent[i]
+		if p >= 0 {
+			sibling[i] = firstChild[p]
+			firstChild[p] = i
+		}
+	}
+	perm := make([]int, n)
+	pos := 0
+	var stack []int
+	visit := func(root int) {
+		stack = append(stack[:0], root)
+		// Iterative postorder: push node, then children; emit when node
+		// re-surfaces with children done. Use explicit state.
+		type frame struct {
+			node  int
+			child int
+		}
+		fs := []frame{{root, firstChild[root]}}
+		for len(fs) > 0 {
+			f := &fs[len(fs)-1]
+			if f.child == -1 {
+				perm[f.node] = pos
+				pos++
+				fs = fs[:len(fs)-1]
+				continue
+			}
+			c := f.child
+			f.child = sibling[c]
+			fs = append(fs, frame{c, firstChild[c]})
+		}
+	}
+	for i := 0; i < n; i++ {
+		if parent[i] == -1 {
+			visit(i)
+		}
+	}
+	return perm
+}
+
+// TreeHeight returns the height (longest root-to-leaf path, in nodes) of the
+// forest given by parent pointers; a single node has height 1. It is a cheap
+// proxy for the critical-path length of the elimination.
+func TreeHeight(parent []int) int {
+	n := len(parent)
+	depth := make([]int, n)
+	var depthOf func(v int) int
+	depthOf = func(v int) int {
+		if depth[v] != 0 {
+			return depth[v]
+		}
+		if parent[v] == -1 {
+			depth[v] = 1
+		} else {
+			depth[v] = depthOf(parent[v]) + 1
+		}
+		return depth[v]
+	}
+	h := 0
+	for v := 0; v < n; v++ {
+		if d := depthOf(v); d > h {
+			h = d
+		}
+	}
+	return h
+}

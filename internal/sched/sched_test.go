@@ -1,0 +1,241 @@
+package sched
+
+import (
+	"testing"
+
+	"sstar/internal/sparse"
+	"sstar/internal/supernode"
+	"sstar/internal/symbolic"
+	"sstar/internal/taskgraph"
+)
+
+func buildGraph(t *testing.T, a *sparse.CSR, bsize, amal int) *taskgraph.Graph {
+	t.Helper()
+	st := symbolic.Factorize(sparse.PatternOf(a))
+	p := supernode.NewPartition(st, supernode.Options{MaxBlock: bsize, Amalgamate: amal})
+	return taskgraph.Build(p)
+}
+
+func unitWeights(g *taskgraph.Graph) []float64 {
+	w := make([]float64, len(g.Tasks))
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+func TestCyclicOwners(t *testing.T) {
+	o := CyclicOwners(7, 3)
+	want := []int{0, 1, 2, 0, 1, 2, 0}
+	for i := range want {
+		if o[i] != want[i] {
+			t.Fatalf("owner[%d] = %d, want %d", i, o[i], want[i])
+		}
+	}
+}
+
+func TestComputeAheadCoversAllTasks(t *testing.T) {
+	a := sparse.Grid2D(8, 8, false, sparse.GenOptions{Seed: 1})
+	g := buildGraph(t, a, 6, 4)
+	s := ComputeAhead(g, 3)
+	seen := make([]bool, len(g.Tasks))
+	for p := 0; p < s.P; p++ {
+		for _, id := range s.Order[p] {
+			if seen[id] {
+				t.Fatalf("task %s scheduled twice", g.Tasks[id].Label())
+			}
+			seen[id] = true
+			// Owner-compute: the task must live on its column's owner.
+			if s.Owner[g.Tasks[id].J] != p {
+				t.Fatalf("task %s on proc %d, owner is %d", g.Tasks[id].Label(), p, s.Owner[g.Tasks[id].J])
+			}
+		}
+	}
+	for id, ok := range seen {
+		if !ok {
+			t.Fatalf("task %s never scheduled", g.Tasks[id].Label())
+		}
+	}
+}
+
+func TestComputeAheadPromotesNextFactor(t *testing.T) {
+	g := buildGraph(t, sparse.Dense(40, 1), 10, 0)
+	s := ComputeAhead(g, 2)
+	// On the owner of column 1 (proc 1), Update(0,1) then Factor(1) must
+	// precede Update(0,3).
+	pos := map[string]int{}
+	for _, id := range s.Order[1] {
+		pos[g.Tasks[id].Label()] = len(pos)
+	}
+	if pos["F(1)"] > pos["U(0,3)"] {
+		t.Fatalf("compute-ahead failed to promote F(1): order %v", pos)
+	}
+}
+
+func TestListScheduleValid(t *testing.T) {
+	a := sparse.Circuit(100, 3, sparse.GenOptions{Seed: 2, StructuralDrop: 0.1})
+	g := buildGraph(t, a, 6, 4)
+	w := unitWeights(g)
+	s := ListSchedule(g, 4, w, func(bytes int) float64 { return 0.1 })
+	// All tasks scheduled exactly once, owner-compute respected, and
+	// per-processor order respects intra-processor dependencies.
+	pos := make([]int, len(g.Tasks))
+	procOf := make([]int, len(g.Tasks))
+	for i := range pos {
+		pos[i] = -1
+	}
+	seq := 0
+	for p := 0; p < s.P; p++ {
+		for _, id := range s.Order[p] {
+			if pos[id] != -1 {
+				t.Fatalf("task %s scheduled twice", g.Tasks[id].Label())
+			}
+			pos[id] = seq
+			procOf[id] = p
+			seq++
+			if s.Owner[g.Tasks[id].J] != p {
+				t.Fatal("owner-compute violated")
+			}
+		}
+	}
+	if seq != len(g.Tasks) {
+		t.Fatalf("scheduled %d of %d tasks", seq, len(g.Tasks))
+	}
+	// Within a processor, predecessors on the same processor come first.
+	for p := 0; p < s.P; p++ {
+		rank := map[int]int{}
+		for i, id := range s.Order[p] {
+			rank[id] = i
+		}
+		for _, id := range s.Order[p] {
+			for _, pred := range g.Tasks[id].Pred {
+				if procOf[pred] == p && rank[pred] > rank[id] {
+					t.Fatalf("intra-processor order violates dependence %s -> %s",
+						g.Tasks[pred].Label(), g.Tasks[id].Label())
+				}
+			}
+		}
+	}
+	if s.Makespan <= 0 {
+		t.Fatal("makespan must be positive")
+	}
+}
+
+func TestListScheduleBeatsSingleProcessorEstimate(t *testing.T) {
+	a := sparse.Grid2D(10, 10, false, sparse.GenOptions{Seed: 3})
+	g := buildGraph(t, a, 6, 4)
+	w := unitWeights(g)
+	comm := func(int) float64 { return 0.05 }
+	s1 := ListSchedule(g, 1, w, comm)
+	s4 := ListSchedule(g, 4, w, comm)
+	if s4.Makespan >= s1.Makespan {
+		t.Fatalf("4-proc makespan %v not better than 1-proc %v", s4.Makespan, s1.Makespan)
+	}
+	// Single processor must equal total work.
+	if s1.Makespan != g.TotalWork(w) {
+		t.Fatalf("1-proc makespan %v != total work %v", s1.Makespan, g.TotalWork(w))
+	}
+}
+
+func TestListScheduleRespectsMakespanLowerBound(t *testing.T) {
+	a := sparse.Grid2D(9, 9, false, sparse.GenOptions{Seed: 4})
+	g := buildGraph(t, a, 5, 4)
+	w := unitWeights(g)
+	cp, _ := g.CriticalPath(w)
+	s := ListSchedule(g, 8, w, func(int) float64 { return 0 })
+	if s.Makespan < cp-1e-12 {
+		t.Fatalf("makespan %v below critical path %v", s.Makespan, cp)
+	}
+	if s.Makespan < g.TotalWork(w)/8-1e-12 {
+		t.Fatalf("makespan %v below work/P bound", s.Makespan)
+	}
+}
+
+func TestLoadBalanceFactor(t *testing.T) {
+	a := sparse.Grid2D(8, 8, false, sparse.GenOptions{Seed: 5})
+	g := buildGraph(t, a, 6, 4)
+	w := unitWeights(g)
+	// Perfectly balanced hypothetical: factor must be in (0, 1].
+	s := ComputeAhead(g, 4)
+	lb := LoadBalance(g, w, func(task *taskgraph.Task) int { return s.Owner[task.J] }, 4)
+	if lb <= 0 || lb > 1 {
+		t.Fatalf("load balance factor %v out of (0,1]", lb)
+	}
+	// Everything on one processor of four: factor = 1/4.
+	lb1 := LoadBalance(g, w, func(*taskgraph.Task) int { return 0 }, 4)
+	if lb1 != 0.25 {
+		t.Fatalf("degenerate load balance %v, want 0.25", lb1)
+	}
+}
+
+func TestListScheduleHighCommClusters(t *testing.T) {
+	// When communication dwarfs computation, the scheduler should keep the
+	// critical chain on few processors; the makespan must never exceed the
+	// one-processor schedule (which needs no communication at all) by more
+	// than rounding.
+	a := sparse.Grid2D(7, 7, false, sparse.GenOptions{Seed: 6})
+	g := buildGraph(t, a, 5, 4)
+	w := unitWeights(g)
+	comm := func(int) float64 { return 1e6 }
+	s1 := ListSchedule(g, 1, w, comm)
+	s8 := ListSchedule(g, 8, w, comm)
+	if s8.Makespan > s1.Makespan+1e-9 {
+		t.Fatalf("high-comm schedule %v worse than serial %v", s8.Makespan, s1.Makespan)
+	}
+}
+
+func TestLPTScheduleValid(t *testing.T) {
+	a := sparse.Grid2D(8, 8, false, sparse.GenOptions{Seed: 7})
+	g := buildGraph(t, a, 6, 4)
+	w := unitWeights(g)
+	s := LPTSchedule(g, 4, w)
+	seen := make([]bool, len(g.Tasks))
+	for p := 0; p < 4; p++ {
+		for _, id := range s.Order[p] {
+			if seen[id] {
+				t.Fatal("duplicate task")
+			}
+			seen[id] = true
+			if s.Owner[g.Tasks[id].J] != p {
+				t.Fatal("owner-compute violated")
+			}
+		}
+	}
+	for _, ok := range seen {
+		if !ok {
+			t.Fatal("task missing")
+		}
+	}
+	// Blocking execution must terminate.
+	if m := Estimate(g, s, w, func(int) float64 { return 0.1 }); m <= 0 || m > 1e308 {
+		t.Fatalf("estimate %v", m)
+	}
+}
+
+func TestEstimateMatchesSerialWork(t *testing.T) {
+	a := sparse.Grid2D(6, 6, false, sparse.GenOptions{Seed: 8})
+	g := buildGraph(t, a, 5, 3)
+	w := unitWeights(g)
+	s := LPTSchedule(g, 1, w)
+	if m := Estimate(g, s, w, func(int) float64 { return 9 }); m != g.TotalWork(w) {
+		t.Fatalf("serial estimate %v != total work %v", m, g.TotalWork(w))
+	}
+}
+
+func TestBestPicksFaster(t *testing.T) {
+	a := sparse.Grid2D(8, 8, false, sparse.GenOptions{Seed: 9})
+	g := buildGraph(t, a, 6, 4)
+	w := unitWeights(g)
+	comm := func(int) float64 { return 0.1 }
+	etf := ListSchedule(g, 4, w, comm)
+	lpt := LPTSchedule(g, 4, w)
+	best := Best(g, w, comm, etf, lpt)
+	e1, e2 := Estimate(g, etf, w, comm), Estimate(g, lpt, w, comm)
+	min := e1
+	if e2 < min {
+		min = e2
+	}
+	if best.Makespan != min {
+		t.Fatalf("Best makespan %v, want min(%v,%v)", best.Makespan, e1, e2)
+	}
+}

@@ -1,0 +1,232 @@
+package sparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadHarwellBoeing parses a matrix in the Harwell–Boeing exchange format —
+// the format the paper's benchmark matrices (sherman5, orsreg1, ...) are
+// distributed in. Supported types: R*A (real assembled) and P*A (pattern
+// assembled), with U (unsymmetric), S (symmetric) or Z (skew) second letters;
+// symmetric/skew storage is expanded to full. Right-hand sides, if present,
+// are skipped.
+func ReadHarwellBoeing(r io.Reader) (*CSR, error) {
+	br := bufio.NewReader(r)
+	readLine := func() (string, error) {
+		line, err := br.ReadString('\n')
+		if err != nil && line == "" {
+			return "", err
+		}
+		return strings.TrimRight(line, "\r\n"), nil
+	}
+	// Header line 1: title + key (ignored).
+	if _, err := readLine(); err != nil {
+		return nil, fmt.Errorf("sparse: hb: missing header: %v", err)
+	}
+	// Header line 2: card counts.
+	line2, err := readLine()
+	if err != nil {
+		return nil, fmt.Errorf("sparse: hb: missing card counts: %v", err)
+	}
+	counts := strings.Fields(line2)
+	if len(counts) < 4 {
+		return nil, fmt.Errorf("sparse: hb: bad card-count line %q", line2)
+	}
+	rhscrd := 0
+	if len(counts) >= 5 {
+		rhscrd, _ = strconv.Atoi(counts[4])
+	}
+	// Header line 3: type and dimensions.
+	line3, err := readLine()
+	if err != nil {
+		return nil, fmt.Errorf("sparse: hb: missing type line: %v", err)
+	}
+	if len(line3) < 3 {
+		return nil, fmt.Errorf("sparse: hb: bad type line %q", line3)
+	}
+	mxtype := strings.ToUpper(strings.TrimSpace(line3[:3]))
+	fields3 := strings.Fields(line3[3:])
+	if len(fields3) < 3 {
+		return nil, fmt.Errorf("sparse: hb: bad dimension fields %q", line3)
+	}
+	nrow, err1 := strconv.Atoi(fields3[0])
+	ncol, err2 := strconv.Atoi(fields3[1])
+	nnz, err3 := strconv.Atoi(fields3[2])
+	if err1 != nil || err2 != nil || err3 != nil || nrow <= 0 || ncol <= 0 || nnz < 0 ||
+		nrow > maxReadDim || ncol > maxReadDim || nnz > maxReadNnz {
+		return nil, fmt.Errorf("sparse: hb: bad dimensions in %q", line3)
+	}
+	valued := mxtype[0] == 'R'
+	if !valued && mxtype[0] != 'P' {
+		return nil, fmt.Errorf("sparse: hb: unsupported value type %q (only R and P)", mxtype)
+	}
+	symmetric := mxtype[1] == 'S'
+	skew := mxtype[1] == 'Z'
+	if mxtype[2] != 'A' {
+		return nil, fmt.Errorf("sparse: hb: only assembled matrices supported, got %q", mxtype)
+	}
+	// Header line 4: data formats.
+	line4, err := readLine()
+	if err != nil {
+		return nil, fmt.Errorf("sparse: hb: missing format line: %v", err)
+	}
+	formats := parseHBFormats(line4)
+	if len(formats) < 2 {
+		return nil, fmt.Errorf("sparse: hb: bad format line %q", line4)
+	}
+	ptrFmt, indFmt := formats[0], formats[1]
+	var valFmt hbFormat
+	if valued {
+		if len(formats) < 3 {
+			return nil, fmt.Errorf("sparse: hb: missing value format in %q", line4)
+		}
+		valFmt = formats[2]
+	}
+	// Optional header line 5 describes right-hand sides.
+	if rhscrd > 0 {
+		if _, err := readLine(); err != nil {
+			return nil, fmt.Errorf("sparse: hb: missing rhs format line: %v", err)
+		}
+	}
+
+	readInts := func(n int, f hbFormat) ([]int, error) {
+		out := make([]int, 0, n)
+		for len(out) < n {
+			line, err := readLine()
+			if err != nil {
+				return nil, fmt.Errorf("sparse: hb: short data section: %v", err)
+			}
+			for p := 0; p+f.width <= len(line) && len(out) < n; p += f.width {
+				field := strings.TrimSpace(line[p : p+f.width])
+				if field == "" {
+					continue
+				}
+				v, err := strconv.Atoi(field)
+				if err != nil {
+					return nil, fmt.Errorf("sparse: hb: bad integer %q", field)
+				}
+				out = append(out, v)
+			}
+		}
+		return out, nil
+	}
+	readFloats := func(n int, f hbFormat) ([]float64, error) {
+		out := make([]float64, 0, n)
+		for len(out) < n {
+			line, err := readLine()
+			if err != nil {
+				return nil, fmt.Errorf("sparse: hb: short value section: %v", err)
+			}
+			for p := 0; p+f.width <= len(line) && len(out) < n; p += f.width {
+				field := strings.TrimSpace(line[p : p+f.width])
+				if field == "" {
+					continue
+				}
+				// Fortran D exponents.
+				field = strings.ReplaceAll(strings.ReplaceAll(field, "D", "E"), "d", "e")
+				v, err := strconv.ParseFloat(field, 64)
+				if err != nil {
+					return nil, fmt.Errorf("sparse: hb: bad value %q", field)
+				}
+				out = append(out, v)
+			}
+		}
+		return out, nil
+	}
+
+	colPtr, err := readInts(ncol+1, ptrFmt)
+	if err != nil {
+		return nil, err
+	}
+	rowInd, err := readInts(nnz, indFmt)
+	if err != nil {
+		return nil, err
+	}
+	var vals []float64
+	if valued {
+		vals, err = readFloats(nnz, valFmt)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	coo := NewCOO(nrow, ncol)
+	for j := 0; j < ncol; j++ {
+		for p := colPtr[j] - 1; p < colPtr[j+1]-1; p++ {
+			if p < 0 || p >= nnz {
+				return nil, fmt.Errorf("sparse: hb: pointer out of range in column %d", j)
+			}
+			i := rowInd[p] - 1
+			if i < 0 || i >= nrow {
+				return nil, fmt.Errorf("sparse: hb: row index %d out of range", i+1)
+			}
+			v := 1.0
+			if valued {
+				v = vals[p]
+			}
+			coo.Add(i, j, v)
+			if (symmetric || skew) && i != j {
+				w := v
+				if skew {
+					w = -v
+				}
+				coo.Add(j, i, w)
+			}
+		}
+	}
+	return coo.ToCSR(), nil
+}
+
+// hbFormat is a simplified Fortran edit descriptor: repeat count and field
+// width, e.g. (13I6) -> {count 13, width 6}, (1P3E25.17) -> {3, 25}.
+type hbFormat struct {
+	count int
+	width int
+}
+
+// parseHBFormats extracts every parenthesized descriptor from a format line.
+func parseHBFormats(line string) []hbFormat {
+	var out []hbFormat
+	for _, tok := range strings.FieldsFunc(line, func(r rune) bool { return r == '(' || r == ')' || r == ' ' || r == ',' }) {
+		if f, ok := parseHBFormat(tok); ok {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func parseHBFormat(tok string) (hbFormat, bool) {
+	tok = strings.ToUpper(strings.TrimSpace(tok))
+	// Strip scale factors like "1P" prefixing the descriptor.
+	if i := strings.Index(tok, "P"); i >= 0 && i+1 < len(tok) {
+		tok = tok[i+1:]
+	}
+	for _, letter := range []string{"I", "E", "D", "F", "G"} {
+		i := strings.Index(tok, letter)
+		if i < 0 {
+			continue
+		}
+		count := 1
+		if i > 0 {
+			c, err := strconv.Atoi(tok[:i])
+			if err != nil {
+				continue
+			}
+			count = c
+		}
+		rest := tok[i+1:]
+		if j := strings.IndexByte(rest, '.'); j >= 0 {
+			rest = rest[:j]
+		}
+		width, err := strconv.Atoi(rest)
+		if err != nil || width <= 0 {
+			continue
+		}
+		return hbFormat{count: count, width: width}, true
+	}
+	return hbFormat{}, false
+}

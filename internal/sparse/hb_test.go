@@ -1,0 +1,119 @@
+package sparse
+
+import (
+	"strings"
+	"testing"
+)
+
+// A tiny hand-written RUA matrix:
+//
+//	[ 1.0  0    2.0 ]
+//	[ 0    3.0  0   ]
+//	[ 4.0  0    5.5 ]
+//
+// stored column-wise: col0 rows {1,3}, col1 rows {2}, col2 rows {1,3}.
+const hbRUA = `Tiny test matrix                                                        TINY
+             4             1             1             2
+RUA                        3             3             5             0
+(6I3)           (6I3)           (3D12.4)
+  1  3  4  6
+  1  3  2  1  3
+  1.0000D+00  4.0000D+00  3.0000D+00
+  2.0000D+00  5.5000D+00
+`
+
+func TestReadHarwellBoeingRUA(t *testing.T) {
+	a, err := ReadHarwellBoeing(strings.NewReader(hbRUA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N != 3 || a.M != 3 || a.Nnz() != 5 {
+		t.Fatalf("shape %dx%d nnz %d", a.N, a.M, a.Nnz())
+	}
+	want := map[[2]int]float64{
+		{0, 0}: 1, {2, 0}: 4, {1, 1}: 3, {0, 2}: 2, {2, 2}: 5.5,
+	}
+	for pos, v := range want {
+		if got := a.At(pos[0], pos[1]); got != v {
+			t.Fatalf("At(%d,%d) = %v, want %v", pos[0], pos[1], got, v)
+		}
+	}
+}
+
+const hbRSA = `Symmetric test                                                          SYM
+             3             1             1             1
+RSA                        2             2             3             0
+(6I3)           (6I3)           (3E12.4)
+  1  3  4
+  1  2  2
+  2.0000E+00 -1.0000E+00  2.0000E+00
+`
+
+func TestReadHarwellBoeingRSAExpansion(t *testing.T) {
+	a, err := ReadHarwellBoeing(strings.NewReader(hbRSA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Nnz() != 4 {
+		t.Fatalf("nnz = %d, want 4 after symmetric expansion", a.Nnz())
+	}
+	if a.At(0, 1) != -1 || a.At(1, 0) != -1 {
+		t.Fatal("mirrored entry missing")
+	}
+}
+
+const hbPUA = `Pattern test                                                            PAT
+             3             1             1             0
+PUA                        2             2             3             0
+(6I3)           (6I3)
+  1  3  4
+  1  2  1
+`
+
+func TestReadHarwellBoeingPattern(t *testing.T) {
+	a, err := ReadHarwellBoeing(strings.NewReader(hbPUA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Nnz() != 3 {
+		t.Fatalf("nnz = %d, want 3", a.Nnz())
+	}
+	if a.At(0, 0) != 1 || a.At(1, 0) != 1 || a.At(0, 1) != 1 {
+		t.Fatal("pattern entries should be unit-valued")
+	}
+}
+
+func TestReadHarwellBoeingErrors(t *testing.T) {
+	cases := []string{
+		"",                                      // empty
+		"title only\n",                          // truncated
+		hbRUA[:100],                             // short data
+		strings.Replace(hbRUA, "RUA", "CUA", 1), // complex unsupported
+		strings.Replace(hbRUA, "RUA", "RUE", 1), // elemental unsupported
+	}
+	for i, src := range cases {
+		if _, err := ReadHarwellBoeing(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestParseHBFormat(t *testing.T) {
+	cases := map[string]hbFormat{
+		"13I6":      {13, 6},
+		"16I5":      {16, 5},
+		"3E26.18":   {3, 26},
+		"1P3E25.17": {3, 25},
+		"4D20.12":   {4, 20},
+		"I8":        {1, 8},
+	}
+	for tok, want := range cases {
+		got, ok := parseHBFormat(tok)
+		if !ok || got != want {
+			t.Errorf("parseHBFormat(%q) = %+v ok=%v, want %+v", tok, got, ok, want)
+		}
+	}
+	if _, ok := parseHBFormat("A72"); ok {
+		t.Error("character format must not parse as numeric")
+	}
+}

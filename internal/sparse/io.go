@@ -1,0 +1,118 @@
+package sparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Sanity bounds for declared sizes in exchange files: large enough for any
+// matrix this library can factor, small enough that a corrupt or malicious
+// header cannot demand a giant allocation.
+const (
+	maxReadDim = 1 << 24 // ~16M rows/columns
+	maxReadNnz = 1 << 28 // ~268M entries
+)
+
+// ReadMatrixMarket parses a sparse matrix in Matrix Market coordinate format
+// ("%%MatrixMarket matrix coordinate real general|symmetric"). Pattern-only
+// files receive unit values. Symmetric files are expanded to full storage.
+func ReadMatrixMarket(r io.Reader) (*CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("sparse: empty matrix market stream")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 4 || header[0] != "%%matrixmarket" || header[1] != "matrix" {
+		return nil, fmt.Errorf("sparse: bad matrix market header %q", sc.Text())
+	}
+	if header[2] != "coordinate" {
+		return nil, fmt.Errorf("sparse: only coordinate format supported, got %q", header[2])
+	}
+	pattern := header[3] == "pattern"
+	symmetric := len(header) > 4 && (header[4] == "symmetric" || header[4] == "skew-symmetric")
+	skew := len(header) > 4 && header[4] == "skew-symmetric"
+
+	// Skip comments, read size line.
+	var n, m, nnz int
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if _, err := fmt.Sscan(line, &n, &m, &nnz); err != nil {
+			return nil, fmt.Errorf("sparse: bad size line %q: %v", line, err)
+		}
+		break
+	}
+	if n <= 0 || m <= 0 || n > maxReadDim || m > maxReadDim {
+		return nil, fmt.Errorf("sparse: bad dimensions %dx%d", n, m)
+	}
+	if nnz < 0 || nnz > maxReadNnz {
+		return nil, fmt.Errorf("sparse: implausible entry count %d", nnz)
+	}
+	coo := NewCOO(n, m)
+	read := 0
+	for read < nnz && sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 2 {
+			return nil, fmt.Errorf("sparse: bad entry line %q", line)
+		}
+		i, err1 := strconv.Atoi(f[0])
+		j, err2 := strconv.Atoi(f[1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("sparse: bad indices in %q", line)
+		}
+		if i < 1 || i > n || j < 1 || j > m {
+			return nil, fmt.Errorf("sparse: entry (%d,%d) out of range for %dx%d matrix", i, j, n, m)
+		}
+		v := 1.0
+		if !pattern {
+			if len(f) < 3 {
+				return nil, fmt.Errorf("sparse: missing value in %q", line)
+			}
+			var err error
+			v, err = strconv.ParseFloat(f[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("sparse: bad value in %q: %v", line, err)
+			}
+		}
+		coo.Add(i-1, j-1, v)
+		if symmetric && i != j {
+			w := v
+			if skew {
+				w = -v
+			}
+			coo.Add(j-1, i-1, w)
+		}
+		read++
+	}
+	if read != nnz {
+		return nil, fmt.Errorf("sparse: expected %d entries, found %d", nnz, read)
+	}
+	return coo.ToCSR(), nil
+}
+
+// WriteMatrixMarket writes a in Matrix Market coordinate real general format.
+func WriteMatrixMarket(w io.Writer, a *CSR) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real general\n%d %d %d\n", a.N, a.M, a.Nnz()); err != nil {
+		return err
+	}
+	for i := 0; i < a.N; i++ {
+		cols, vals := a.Row(i)
+		for k, j := range cols {
+			if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", i+1, j+1, vals[k]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,248 @@
+package supernode
+
+import (
+	"fmt"
+
+	"sstar/internal/sparse"
+)
+
+// Block is one submatrix of the 2D L/U partition, stored as a packed dense
+// matrix: Rows and Cols list the global indices present (sorted), Data holds
+// the len(Rows) x len(Cols) values row-major.
+//
+// Layout by region:
+//   - diagonal blocks (I == J): full dense (all rows and columns of the block);
+//   - L blocks (I > J): packed structural rows (dense subrows, Theorem 1's
+//     dual), all columns of block J;
+//   - U blocks (I < J): all rows of block I, packed structural columns
+//     (Theorem 1's dense subcolumns).
+type Block struct {
+	I, J int
+	Rows []int32
+	Cols []int32
+	Data []float64
+}
+
+// NumRows returns the packed row count.
+func (b *Block) NumRows() int { return len(b.Rows) }
+
+// NumCols returns the packed column count.
+func (b *Block) NumCols() int { return len(b.Cols) }
+
+// Bytes returns the payload size of the block's values in bytes, used by the
+// communication cost model.
+func (b *Block) Bytes() int { return 8 * len(b.Data) }
+
+// RowSlice returns the packed value slice of global row r, or nil when the
+// block has no such row.
+func (b *Block) RowSlice(r int) []float64 {
+	p := searchInt32(b.Rows, int32(r))
+	if p < 0 {
+		return nil
+	}
+	nc := len(b.Cols)
+	return b.Data[p*nc : (p+1)*nc]
+}
+
+// ColPos returns the packed position of global column c, or -1.
+func (b *Block) ColPos(c int) int { return searchInt32(b.Cols, int32(c)) }
+
+// RowPos returns the packed position of global row r, or -1.
+func (b *Block) RowPos(r int) int { return searchInt32(b.Rows, int32(r)) }
+
+// At returns the value at global (r, c), or 0 when the position is not
+// stored.
+func (b *Block) At(r, c int) float64 {
+	i := b.RowPos(r)
+	j := b.ColPos(c)
+	if i < 0 || j < 0 {
+		return 0
+	}
+	return b.Data[i*len(b.Cols)+j]
+}
+
+func searchInt32(xs []int32, v int32) int {
+	lo, hi := 0, len(xs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if xs[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(xs) && xs[lo] == v {
+		return lo
+	}
+	return -1
+}
+
+// BlockMatrix is the partitioned working matrix: diagonal blocks plus sparse
+// collections of L and U off-diagonal blocks, all allocated up front from the
+// static structure (nothing is ever reallocated during factorization — the
+// whole point of the S* design).
+type BlockMatrix struct {
+	P    *Partition
+	Diag []*Block
+	// LCol[j] holds the L blocks of block column j, sorted by block row.
+	LCol [][]*Block
+	// URow[k] holds the U blocks of block row k, sorted by block column.
+	URow [][]*Block
+}
+
+// NewBlockMatrix allocates every block of the static 2D structure and
+// scatters the values of a into it. Positions of a outside the static
+// structure cause a panic (they cannot exist if the same matrix produced the
+// partition).
+func NewBlockMatrix(p *Partition, a *sparse.CSR) *BlockMatrix {
+	if a.N != p.N || a.M != p.N {
+		panic("supernode: matrix/partition size mismatch")
+	}
+	bm := &BlockMatrix{
+		P:    p,
+		Diag: make([]*Block, p.NB),
+		LCol: make([][]*Block, p.NB),
+		URow: make([][]*Block, p.NB),
+	}
+	for b := 0; b < p.NB; b++ {
+		s := p.Size(b)
+		d := &Block{I: b, J: b, Rows: rangeInt32(p.Start[b], p.Start[b+1]), Cols: rangeInt32(p.Start[b], p.Start[b+1])}
+		d.Data = make([]float64, s*s)
+		bm.Diag[b] = d
+		// L blocks of column b: group LRows[b] by row block.
+		for lo := 0; lo < len(p.LRows[b]); {
+			rb := p.BlockOf[p.LRows[b][lo]]
+			hi := lo
+			for hi < len(p.LRows[b]) && p.BlockOf[p.LRows[b][hi]] == rb {
+				hi++
+			}
+			blk := &Block{
+				I:    rb,
+				J:    b,
+				Rows: append([]int32(nil), p.LRows[b][lo:hi]...),
+				Cols: d.Cols,
+			}
+			blk.Data = make([]float64, len(blk.Rows)*s)
+			bm.LCol[b] = append(bm.LCol[b], blk)
+			lo = hi
+		}
+		// U blocks of row b: group UCols[b] by column block.
+		for lo := 0; lo < len(p.UCols[b]); {
+			cb := p.BlockOf[p.UCols[b][lo]]
+			hi := lo
+			for hi < len(p.UCols[b]) && p.BlockOf[p.UCols[b][hi]] == cb {
+				hi++
+			}
+			blk := &Block{
+				I:    b,
+				J:    cb,
+				Rows: d.Rows,
+				Cols: append([]int32(nil), p.UCols[b][lo:hi]...),
+			}
+			blk.Data = make([]float64, s*len(blk.Cols))
+			bm.URow[b] = append(bm.URow[b], blk)
+			lo = hi
+		}
+	}
+	// Scatter the original values.
+	for i := 0; i < a.N; i++ {
+		cols, vals := a.Row(i)
+		for k, j := range cols {
+			blk := bm.BlockAt(p.BlockOf[i], p.BlockOf[j])
+			if blk == nil {
+				panic(fmt.Sprintf("supernode: entry (%d,%d) outside static block structure", i, j))
+			}
+			r := blk.RowPos(i)
+			c := blk.ColPos(j)
+			if r < 0 || c < 0 {
+				panic(fmt.Sprintf("supernode: entry (%d,%d) outside block (%d,%d) packing", i, j, blk.I, blk.J))
+			}
+			blk.Data[r*len(blk.Cols)+c] = vals[k]
+		}
+	}
+	return bm
+}
+
+// BlockAt returns the block at block coordinates (i, j), or nil when the
+// static structure has no such block.
+func (bm *BlockMatrix) BlockAt(i, j int) *Block {
+	switch {
+	case i == j:
+		return bm.Diag[i]
+	case i > j:
+		return searchBlocksByRow(bm.LCol[j], i)
+	default:
+		return searchBlocksByCol(bm.URow[i], j)
+	}
+}
+
+func searchBlocksByRow(bs []*Block, i int) *Block {
+	lo, hi := 0, len(bs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bs[mid].I < i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(bs) && bs[lo].I == i {
+		return bs[lo]
+	}
+	return nil
+}
+
+func searchBlocksByCol(bs []*Block, j int) *Block {
+	lo, hi := 0, len(bs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bs[mid].J < j {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(bs) && bs[lo].J == j {
+		return bs[lo]
+	}
+	return nil
+}
+
+// At returns the value at global (i, j), or 0 when the position is not
+// stored.
+func (bm *BlockMatrix) At(i, j int) float64 {
+	blk := bm.BlockAt(bm.P.BlockOf[i], bm.P.BlockOf[j])
+	if blk == nil {
+		return 0
+	}
+	return blk.At(i, j)
+}
+
+// StorageEntries returns the total number of float64 slots allocated — the
+// "factor entries" statistic of the block storage, including the explicit
+// zeros that amalgamation and block packing introduce.
+func (bm *BlockMatrix) StorageEntries() int64 {
+	var total int64
+	for _, d := range bm.Diag {
+		total += int64(len(d.Data))
+	}
+	for _, col := range bm.LCol {
+		for _, b := range col {
+			total += int64(len(b.Data))
+		}
+	}
+	for _, row := range bm.URow {
+		for _, b := range row {
+			total += int64(len(b.Data))
+		}
+	}
+	return total
+}
+
+func rangeInt32(lo, hi int) []int32 {
+	out := make([]int32, hi-lo)
+	for i := range out {
+		out[i] = int32(lo + i)
+	}
+	return out
+}

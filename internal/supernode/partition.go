@@ -1,0 +1,388 @@
+// Package supernode implements the 2D L/U supernode partitioning layer of S*
+// (paper Section 3.2/3.3): detection of supernodes in the static symbolic
+// structure, relaxed amalgamation controlled by the factor r, splitting into
+// cache-sized column blocks, and the packed dense block storage that Theorem 1
+// justifies (U submatrices consist of structurally dense subcolumns; L
+// submatrices of dense subrows).
+package supernode
+
+import (
+	"sstar/internal/symbolic"
+)
+
+// Options controls partitioning.
+type Options struct {
+	// MaxBlock is the largest allowed block (supernode panel) size; the
+	// paper uses 25 on both T3D and T3E ("if the block size is too large,
+	// the available parallelism will be reduced").
+	MaxBlock int
+	// Amalgamate is the relaxed-amalgamation factor r: merging two
+	// adjacent supernodes is allowed when it introduces at most r explicit
+	// zeros per column of the merged supernode. The paper reports r in 4..6
+	// as best; r = 0 disables amalgamation.
+	Amalgamate int
+}
+
+// DefaultOptions mirror the paper's experimental setup (BSIZE 25, r 4).
+func DefaultOptions() Options { return Options{MaxBlock: 25, Amalgamate: 4} }
+
+// Partition is the 2D L/U supernode partition of an n-by-n static structure:
+// the same block boundaries cut both the columns and the rows, so the matrix
+// becomes an NB-by-NB grid of submatrices.
+type Partition struct {
+	N       int
+	NB      int
+	Start   []int // Start[b] = first column (== row) of block b; Start[NB] = N
+	BlockOf []int // column/row -> owning block
+
+	// UCols[b] lists the global columns >= Start[b+1] in which the rows of
+	// block b hold U entries (the union of the block's static row
+	// structures — identical across rows for strict supernodes, a few
+	// explicit zeros after amalgamation). Sorted.
+	UCols [][]int32
+	// LRows[b] lists the global rows >= Start[b+1] holding L entries in the
+	// columns of block b (union of the block's static column structures).
+	// Sorted.
+	LRows [][]int32
+
+	// UBlocks[b] / LBlocks[b] are the block-granularity images of UCols /
+	// LRows: the column blocks j > b with U_bj nonzero and the row blocks
+	// i > b with L_ib nonzero. Sorted.
+	UBlocks [][]int32
+	LBlocks [][]int32
+}
+
+// Size returns the number of columns of block b.
+func (p *Partition) Size(b int) int { return p.Start[b+1] - p.Start[b] }
+
+// EliminationForest returns the supernodal elimination forest of the
+// partition: parent[k] is the block containing the first row below block k
+// with an L entry in block k's columns (-1 for roots). Disjoint subtrees can
+// be factored concurrently, so the forest's height over its node count is a
+// cheap proxy for the available tree parallelism.
+func (p *Partition) EliminationForest() []int {
+	parent := make([]int, p.NB)
+	for k := 0; k < p.NB; k++ {
+		parent[k] = -1
+		if len(p.LBlocks[k]) > 0 {
+			parent[k] = int(p.LBlocks[k][0])
+		}
+		if len(p.UBlocks[k]) > 0 {
+			if u := int(p.UBlocks[k][0]); parent[k] == -1 || u < parent[k] {
+				parent[k] = u
+			}
+		}
+	}
+	return parent
+}
+
+// FlopWeightedWidth returns the average panel width weighted by each panel's
+// update-flop volume. Factorization work concentrates in the wide trailing
+// supernodes, so this — not the plain average — is the effective dense-kernel
+// operand size that determines cache behaviour.
+func (p *Partition) FlopWeightedWidth() float64 {
+	var wsum, fsum float64
+	for k := 0; k < p.NB; k++ {
+		s := float64(p.Size(k))
+		fl := 2 * s * float64(len(p.LRows[k])) * float64(len(p.UCols[k]))
+		if fl == 0 {
+			fl = s * s * s // trailing block: dense panel factorization
+		}
+		wsum += fl * s
+		fsum += fl
+	}
+	if fsum == 0 {
+		return float64(p.N) / float64(p.NB)
+	}
+	return wsum / fsum
+}
+
+// NewPartition builds the 2D L/U partition from a static symbolic
+// factorization: strict supernode detection, relaxed amalgamation, then
+// splitting into panels of at most MaxBlock columns.
+func NewPartition(st *symbolic.Static, o Options) *Partition {
+	if o.MaxBlock <= 0 {
+		o.MaxBlock = 25
+	}
+	n := st.N
+	bounds := detectSupernodes(st)
+	if o.Amalgamate > 0 {
+		bounds = amalgamate(st, bounds, o.Amalgamate)
+	}
+	bounds = split(bounds, o.MaxBlock)
+	nb := len(bounds) - 1
+	p := &Partition{
+		N:       n,
+		NB:      nb,
+		Start:   bounds,
+		BlockOf: make([]int, n),
+		UCols:   make([][]int32, nb),
+		LRows:   make([][]int32, nb),
+		UBlocks: make([][]int32, nb),
+		LBlocks: make([][]int32, nb),
+	}
+	for b := 0; b < nb; b++ {
+		for c := bounds[b]; c < bounds[b+1]; c++ {
+			p.BlockOf[c] = b
+		}
+	}
+	for b := 0; b < nb; b++ {
+		end := int32(bounds[b+1])
+		var ucols, lrows []int32
+		for c := bounds[b]; c < bounds[b+1]; c++ {
+			for _, j := range st.URows[c] {
+				if j >= end {
+					ucols = append(ucols, j)
+				}
+			}
+			for _, i := range st.LCols[c] {
+				if i >= end {
+					lrows = append(lrows, i)
+				}
+			}
+		}
+		p.UCols[b] = sortDedup(ucols)
+		p.LRows[b] = sortDedup(lrows)
+		p.UBlocks[b] = p.blocksOf(p.UCols[b])
+		p.LBlocks[b] = p.blocksOf(p.LRows[b])
+	}
+	return p
+}
+
+func (p *Partition) blocksOf(idx []int32) []int32 {
+	var out []int32
+	for _, x := range idx {
+		b := int32(p.BlockOf[x])
+		if len(out) == 0 || out[len(out)-1] != b {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// detectSupernodes returns the strict supernode boundaries of the static
+// structure: consecutive columns are fused while their U-row structures and
+// L-column structures are exactly nested (the nonsymmetric T1-style
+// definition on the George–Ng structure, which is what Theorem 1 needs).
+func detectSupernodes(st *symbolic.Static) []int {
+	n := st.N
+	bounds := []int{0}
+	for k := 1; k < n; k++ {
+		if !(uNested(st.URows[k-1], st.URows[k]) && lNested(st.LCols[k-1], st.LCols[k], int32(k))) {
+			bounds = append(bounds, k)
+		}
+	}
+	bounds = append(bounds, n)
+	return bounds
+}
+
+// uNested reports whether prev \ {its first column} == cur.
+func uNested(prev, cur []int32) bool {
+	if len(prev) != len(cur)+1 {
+		return false
+	}
+	for i, c := range cur {
+		if prev[i+1] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// lNested reports whether prev == {k} ∪ cur, i.e. column k-1's L rows are
+// row k plus exactly column k's L rows.
+func lNested(prev, cur []int32, k int32) bool {
+	if len(prev) != len(cur)+1 || prev[0] != k {
+		return false
+	}
+	for i, r := range cur {
+		if prev[i+1] != r {
+			return false
+		}
+	}
+	return true
+}
+
+// superStruct is the running structure of a (possibly amalgamated) supernode
+// during the merge pass.
+type superStruct struct {
+	lo, hi int     // column range [lo, hi)
+	ucols  []int32 // U columns >= hi
+	lrows  []int32 // L rows >= hi
+}
+
+// amalgamate greedily merges adjacent supernodes while each merge introduces
+// at most r explicit zeros per column of the merged supernode (the paper's
+// O(n), permutation-free scheme of Section 3.3).
+func amalgamate(st *symbolic.Static, bounds []int, r int) []int {
+	ns := len(bounds) - 1
+	if ns <= 1 {
+		return bounds
+	}
+	build := func(lo, hi int) superStruct {
+		var uc, lr []int32
+		for c := lo; c < hi; c++ {
+			for _, j := range st.URows[c] {
+				if int(j) >= hi {
+					uc = append(uc, j)
+				}
+			}
+			for _, i := range st.LCols[c] {
+				if int(i) >= hi {
+					lr = append(lr, i)
+				}
+			}
+		}
+		return superStruct{lo: lo, hi: hi, ucols: sortDedup(uc), lrows: sortDedup(lr)}
+	}
+	cur := build(bounds[0], bounds[1])
+	out := []int{0}
+	for s := 1; s < ns; s++ {
+		next := build(bounds[s], bounds[s+1])
+		if merged, ok := tryMerge(cur, next, r); ok {
+			cur = merged
+			continue
+		}
+		out = append(out, cur.hi)
+		cur = next
+	}
+	out = append(out, cur.hi)
+	return out
+}
+
+// tryMerge evaluates merging adjacent supernodes a (left) and b (right);
+// on success it returns the merged structure.
+func tryMerge(a, b superStruct, r int) (superStruct, bool) {
+	wa := a.hi - a.lo // width of a
+	wb := b.hi - b.lo
+	// Split a's structure at b.hi: the part inside b's columns/rows becomes
+	// the dense coupling rectangles; the rest is compared against b's.
+	uaIn, uaOut := splitAt(a.ucols, int32(b.hi))
+	laIn, laOut := splitAt(a.lrows, int32(b.hi))
+	uOnlyA, uOnlyB := diffCounts(uaOut, b.ucols)
+	lOnlyA, lOnlyB := diffCounts(laOut, b.lrows)
+	extraZeros := wa*(wb-len(uaIn)) + // superdiagonal rectangle padding
+		wa*(wb-len(laIn)) + // subdiagonal rectangle padding
+		wb*uOnlyA + wa*uOnlyB + // U region rows extended to the union
+		wb*lOnlyA + wa*lOnlyB // L region columns extended to the union
+	if extraZeros > r*(wa+wb) {
+		return superStruct{}, false
+	}
+	return superStruct{
+		lo:    a.lo,
+		hi:    b.hi,
+		ucols: mergeSorted(uaOut, b.ucols),
+		lrows: mergeSorted(laOut, b.lrows),
+	}, true
+}
+
+// split cuts every supernode wider than maxBlock into panels of at most
+// maxBlock columns.
+func split(bounds []int, maxBlock int) []int {
+	out := []int{0}
+	for s := 0; s+1 < len(bounds); s++ {
+		lo, hi := bounds[s], bounds[s+1]
+		for c := lo + maxBlock; c < hi; c += maxBlock {
+			out = append(out, c)
+		}
+		out = append(out, hi)
+	}
+	return out
+}
+
+// splitAt partitions sorted xs into (< at, >= at) halves... inverted: returns
+// (inside, outside) where inside are the entries < at and outside >= at.
+func splitAt(xs []int32, at int32) (inside, outside []int32) {
+	for i, x := range xs {
+		if x >= at {
+			return xs[:i], xs[i:]
+		}
+	}
+	return xs, nil
+}
+
+// diffCounts returns |a \ b| and |b \ a| for sorted slices.
+func diffCounts(a, b []int32) (onlyA, onlyB int) {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			onlyA++
+			i++
+		case a[i] > b[j]:
+			onlyB++
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	onlyA += len(a) - i
+	onlyB += len(b) - j
+	return
+}
+
+func mergeSorted(a, b []int32) []int32 {
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+func sortDedup(xs []int32) []int32 {
+	if len(xs) == 0 {
+		return nil
+	}
+	sortInt32(xs)
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func sortInt32(x []int32) {
+	// Insertion sort for short slices, else a simple quicksort.
+	if len(x) < 24 {
+		for i := 1; i < len(x); i++ {
+			for j := i; j > 0 && x[j] < x[j-1]; j-- {
+				x[j], x[j-1] = x[j-1], x[j]
+			}
+		}
+		return
+	}
+	pivot := x[len(x)/2]
+	lo, hi := 0, len(x)-1
+	for lo <= hi {
+		for x[lo] < pivot {
+			lo++
+		}
+		for x[hi] > pivot {
+			hi--
+		}
+		if lo <= hi {
+			x[lo], x[hi] = x[hi], x[lo]
+			lo++
+			hi--
+		}
+	}
+	sortInt32(x[:hi+1])
+	sortInt32(x[lo:])
+}

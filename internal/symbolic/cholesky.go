@@ -1,0 +1,64 @@
+package symbolic
+
+import (
+	"sort"
+
+	"sstar/internal/sparse"
+)
+
+// CholeskyFill computes nnz(L_c) of the symbolic Cholesky factor of a
+// symmetric pattern (diagonal included). Structure of L_c(A^T A) is the
+// classical — but loose — upper bound for sparse GEPP structures that
+// Table 1 compares the George–Ng bound against.
+func CholeskyFill(s *sparse.Pattern) int64 {
+	cols := CholeskyColumns(s)
+	var nnz int64
+	for _, c := range cols {
+		nnz += int64(len(c)) + 1 // entries below diagonal, plus the diagonal
+	}
+	return nnz
+}
+
+// CholeskyColumns returns, for each column j, the sorted row indices i > j of
+// the symbolic Cholesky factor of the symmetric pattern s.
+//
+// It uses Liu's row-merge formulation: struct(j) = (pattern of column j below
+// the diagonal) ∪ ⋃ { struct(c) \ {first} : c a child of j in the
+// elimination tree }, computed in one pass since children always have smaller
+// indices.
+func CholeskyColumns(s *sparse.Pattern) [][]int32 {
+	n := s.N
+	cols := make([][]int32, n)
+	children := make([][]int32, n)
+	marker := make([]int, n)
+	for i := range marker {
+		marker[i] = -1
+	}
+	var scratch []int32
+	for j := 0; j < n; j++ {
+		scratch = scratch[:0]
+		for _, i := range s.Row(j) { // symmetric: row j == column j
+			if i > j && marker[i] != j {
+				marker[i] = j
+				scratch = append(scratch, int32(i))
+			}
+		}
+		for _, c := range children[j] {
+			for _, i := range cols[c] {
+				if int(i) > j && marker[i] != j {
+					marker[i] = j
+					scratch = append(scratch, i)
+				}
+			}
+		}
+		out := make([]int32, len(scratch))
+		copy(out, scratch)
+		sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+		cols[j] = out
+		if len(out) > 0 {
+			p := out[0] // etree parent = first off-diagonal entry
+			children[p] = append(children[p], int32(j))
+		}
+	}
+	return cols
+}

@@ -1,0 +1,158 @@
+// Package symbolic implements the structure-prediction layer of S*: the
+// George–Ng static symbolic factorization that upper-bounds the L/U
+// structures of sparse GEPP under every possible partial-pivoting sequence
+// (paper Section 3.1), and the symbolic Cholesky factorization of A^T A used
+// as the looser comparison bound in Table 1.
+package symbolic
+
+import "sort"
+
+import "sstar/internal/sparse"
+
+// Static holds the result of the static symbolic factorization of an n-by-n
+// matrix with a zero-free diagonal.
+//
+// URows[k] is the final structure of row k restricted to columns >= k (the
+// U-part of row k, diagonal included), sorted. LCols[k] lists the rows i > k
+// that may hold a nonzero in column k of L, sorted. Together they cover the
+// structures of both factors for any pivot sequence.
+type Static struct {
+	N     int
+	URows [][]int32
+	LCols [][]int32
+}
+
+// NnzU returns the number of structural entries in U (diagonal included).
+func (s *Static) NnzU() int {
+	n := 0
+	for _, r := range s.URows {
+		n += len(r)
+	}
+	return n
+}
+
+// NnzL returns the number of structural entries in L including the unit
+// diagonal.
+func (s *Static) NnzL() int {
+	n := s.N
+	for _, c := range s.LCols {
+		n += len(c)
+	}
+	return n
+}
+
+// NnzTotal returns nnz(L+U) counting the diagonal once (the "factor entries"
+// statistic of Table 1).
+func (s *Static) NnzTotal() int { return s.NnzL() + s.NnzU() - s.N }
+
+// ElementOps returns the number of floating-point operations a right-looking
+// elimination performs when it touches every structural entry of the static
+// structure: per step k, one division per L entry and a multiply-add pair per
+// (L entry, U entry) combination. This is the over-estimated operation count
+// whose ratio to the true count appears in the last column of Table 1.
+func (s *Static) ElementOps() int64 {
+	var ops int64
+	for k := 0; k < s.N; k++ {
+		l := int64(len(s.LCols[k]))
+		u := int64(len(s.URows[k]) - 1) // exclude the diagonal
+		ops += l + 2*l*u
+	}
+	return ops
+}
+
+// Factorize runs the static symbolic factorization on the pattern of a,
+// which must be square with a structurally zero-free diagonal (apply
+// ordering.MaxTransversal first when needed).
+//
+// The implementation uses a row-merge forest: at step k every "super-row"
+// (group of rows proven identical in structure for columns >= k) whose
+// structure contains column k is merged; the merged structure, restricted to
+// columns >= k, is exactly the final structure of row k. Each group is
+// consumed by exactly one merge, so the total work is O(nnz(L+U) log) — this
+// is the efficient formulation the paper credits to Kai Shen's
+// implementation.
+func Factorize(a *sparse.Pattern) *Static {
+	n := a.N
+	type group struct {
+		cols []int32 // remaining structure, sorted, all >= current step
+		rows []int32 // alive member rows (candidate pivots), sorted
+	}
+	// bucket[c] holds the groups whose minimum column is c.
+	bucket := make([][]*group, n)
+	for i := 0; i < n; i++ {
+		row := a.Row(i)
+		cols := make([]int32, len(row))
+		for p, c := range row {
+			cols[p] = int32(c)
+		}
+		if len(cols) == 0 {
+			panic("symbolic: empty row")
+		}
+		g := &group{cols: cols, rows: []int32{int32(i)}}
+		bucket[cols[0]] = append(bucket[cols[0]], g)
+	}
+	st := &Static{N: n, URows: make([][]int32, n), LCols: make([][]int32, n)}
+	var scratch, rscratch []int32
+	for k := 0; k < n; k++ {
+		parts := bucket[k]
+		bucket[k] = nil
+		if len(parts) == 0 {
+			panic("symbolic: no candidate rows at step; diagonal not zero-free?")
+		}
+		// Union the participants' structures and candidate-row sets. The
+		// candidate rows at step k are exactly the rows that may hold an
+		// L multiplier in column k (any of them could have been left
+		// below the diagonal by the row interchanges).
+		scratch = scratch[:0]
+		rscratch = rscratch[:0]
+		for _, g := range parts {
+			scratch = append(scratch, g.cols...)
+			rscratch = append(rscratch, g.rows...)
+		}
+		sort.Slice(scratch, func(i, j int) bool { return scratch[i] < scratch[j] })
+		merged := make([]int32, 0, len(scratch))
+		for i, c := range scratch {
+			if i == 0 || c != scratch[i-1] {
+				merged = append(merged, c)
+			}
+		}
+		if merged[0] != int32(k) {
+			panic("symbolic: candidate structure does not start at step column")
+		}
+		st.URows[k] = merged
+		// Member-row sets of distinct groups are disjoint; sort and drop
+		// the retiring row k (a candidate by the zero-free diagonal).
+		sort.Slice(rscratch, func(i, j int) bool { return rscratch[i] < rscratch[j] })
+		if len(rscratch) == 0 || rscratch[0] != int32(k) {
+			panic("symbolic: row k is not a candidate at step k")
+		}
+		alive := make([]int32, len(rscratch)-1)
+		copy(alive, rscratch[1:])
+		st.LCols[k] = alive
+		// The merged structure propagates only through rows that remain
+		// candidates; when the pivot was the sole candidate its remaining
+		// U entries are frozen into row k and nothing flows on.
+		rest := merged[1:]
+		if len(alive) > 0 {
+			if len(rest) == 0 {
+				panic("symbolic: alive candidate rows with empty structure")
+			}
+			g := &group{cols: rest, rows: alive}
+			bucket[rest[0]] = append(bucket[rest[0]], g)
+		}
+	}
+	return st
+}
+
+// LRows returns, for each row i, the sorted list of columns k < i where row i
+// may hold an L entry (the transpose view of LCols). Useful for per-row
+// storage layouts.
+func (s *Static) LRows() [][]int32 {
+	rows := make([][]int32, s.N)
+	for k, col := range s.LCols {
+		for _, i := range col {
+			rows[i] = append(rows[i], int32(k))
+		}
+	}
+	return rows
+}

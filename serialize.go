@@ -1,0 +1,75 @@
+package sstar
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"sstar/internal/core"
+)
+
+// Save writes the complete factorization (symbolic analysis, numeric factors
+// and pivot sequence) to w in a self-contained binary format, so an expensive
+// factorization can be computed once and reused across processes.
+func (f *Factorization) Save(w io.Writer) error {
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(serialHeader{Magic: serialMagic, Version: serialVersion}); err != nil {
+		return fmt.Errorf("sstar: save header: %w", err)
+	}
+	if err := enc.Encode(f.sym); err != nil {
+		return fmt.Errorf("sstar: save symbolic: %w", err)
+	}
+	if err := enc.Encode(f.fact.BM); err != nil {
+		return fmt.Errorf("sstar: save factors: %w", err)
+	}
+	if err := enc.Encode(f.fact.Piv); err != nil {
+		return fmt.Errorf("sstar: save pivots: %w", err)
+	}
+	if err := enc.Encode(f.fact.Fl); err != nil {
+		return fmt.Errorf("sstar: save flop counts: %w", err)
+	}
+	return nil
+}
+
+// Load reads a factorization previously written by Save. The result supports
+// every solve variant (Solve, SolveTranspose, SolveMany, Refine, ...) and
+// Refactorize with same-pattern matrices.
+func Load(r io.Reader) (*Factorization, error) {
+	dec := gob.NewDecoder(r)
+	var h serialHeader
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("sstar: load header: %w", err)
+	}
+	if h.Magic != serialMagic {
+		return nil, fmt.Errorf("sstar: not a factorization stream")
+	}
+	if h.Version != serialVersion {
+		return nil, fmt.Errorf("sstar: unsupported format version %d", h.Version)
+	}
+	fact := &core.Factorization{}
+	var sym core.Symbolic
+	if err := dec.Decode(&sym); err != nil {
+		return nil, fmt.Errorf("sstar: load symbolic: %w", err)
+	}
+	if err := dec.Decode(&fact.BM); err != nil {
+		return nil, fmt.Errorf("sstar: load factors: %w", err)
+	}
+	if err := dec.Decode(&fact.Piv); err != nil {
+		return nil, fmt.Errorf("sstar: load pivots: %w", err)
+	}
+	if err := dec.Decode(&fact.Fl); err != nil {
+		return nil, fmt.Errorf("sstar: load flop counts: %w", err)
+	}
+	fact.Sym = &sym
+	return &Factorization{sym: &sym, fact: fact}, nil
+}
+
+const (
+	serialMagic   = "sstar-lu"
+	serialVersion = 1
+)
+
+type serialHeader struct {
+	Magic   string
+	Version int
+}

@@ -1,0 +1,77 @@
+package sstar
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	a := GenGrid2D(10, 10, false, GenOptions{Seed: 75, WeakDiagFraction: 0.15})
+	f, err := Factorize(a, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := rhs(a.N, 76)
+	x1, _ := f.Solve(b)
+	x2, err := g.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x1 {
+		if x1[i] != x2[i] {
+			t.Fatalf("loaded factorization solves differently at %d", i)
+		}
+	}
+	// Transpose solve and refactorize must work on the loaded object too.
+	xt, err := g.SolveTranspose(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := Residual(a.Transpose(), xt, b); r > 1e-9 {
+		t.Fatalf("loaded transpose residual %g", r)
+	}
+	a2 := a.Clone()
+	for i := range a2.Val {
+		a2.Val[i] *= 2
+	}
+	if err := g.Refactorize(a2); err != nil {
+		t.Fatal(err)
+	}
+	x3, _ := g.Solve(b)
+	if r := Residual(a2, x3, b); r > 1e-9 {
+		t.Fatalf("loaded refactorize residual %g", r)
+	}
+	// Sanity: halving all values doubles the solution.
+	for i := range x3 {
+		if math.Abs(2*x3[i]-x1[i]) > 1e-8*(1+math.Abs(x1[i])) {
+			t.Fatalf("scaled refactorization inconsistent at %d", i)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("this is not a factorization")); err == nil {
+		t.Fatal("expected error for garbage stream")
+	}
+	var buf bytes.Buffer
+	a := GenDense(8, 77)
+	f, _ := Factorize(a, DefaultOptions())
+	if err := f.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate: must fail cleanly.
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := Load(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("expected error for truncated stream")
+	}
+}

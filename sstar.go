@@ -1,0 +1,347 @@
+// Package sstar is a Go implementation of S*, the sparse LU factorization
+// with partial pivoting for distributed memory machines of Fu, Jiao and Yang
+// (SC'96 / IEEE TPDS 9(2), 1998).
+//
+// The library factors a square nonsymmetric sparse matrix A as PA = LU with
+// row interchanges for numerical stability, using the S* design: a static
+// symbolic factorization that bounds the fill of every possible pivot
+// sequence, 2D L/U supernode partitioning with amalgamation so most work runs
+// as dense matrix-matrix kernels, and a family of parallel execution
+// strategies (1D compute-ahead, 1D graph-scheduled, 2D synchronous and the
+// paper's flagship 2D asynchronous pipelined code) that run on a
+// deterministic virtual-time message-passing machine calibrated to the
+// paper's Cray T3D/T3E.
+//
+// Quick start:
+//
+//	a := sstar.NewCOO(n, n)
+//	... a.Add(i, j, v) ...
+//	f, err := sstar.Factorize(a.ToCSR(), sstar.DefaultOptions())
+//	x, err := f.Solve(b)
+package sstar
+
+import (
+	"fmt"
+
+	"sstar/internal/core"
+	"sstar/internal/machine"
+	"sstar/internal/sparse"
+	"sstar/internal/supernode"
+)
+
+// Matrix is a square sparse matrix in compressed sparse row form.
+type Matrix = sparse.CSR
+
+// COO is a sparse matrix under assembly in coordinate form.
+type COO = sparse.COO
+
+// NewCOO returns an empty n-by-m coordinate matrix for assembly.
+func NewCOO(n, m int) *COO { return sparse.NewCOO(n, m) }
+
+// Options configures the analyze and factorization phases.
+type Options struct {
+	// BlockSize is the maximum supernode panel width (default 25, the
+	// paper's choice on both T3D and T3E).
+	BlockSize int
+	// Amalgamate is the supernode amalgamation factor r (default 4; the
+	// paper reports r in 4..6 as best, 0 disables).
+	Amalgamate int
+	// SkipOrdering keeps the caller's row/column order instead of applying
+	// the maximum transversal + minimum degree preprocessing.
+	SkipOrdering bool
+	// Ordering selects the fill-reducing column ordering: "" or "mmd-ata"
+	// for the paper's minimum degree on AᵀA, "colmmd" for column minimum
+	// degree computed directly on A.
+	Ordering string
+	// PivotThreshold in (0,1] enables threshold pivoting: the diagonal
+	// candidate is kept whenever its magnitude reaches PivotThreshold
+	// times the column maximum, reducing row interchanges (and so
+	// communication) at a controlled stability cost. 0 or 1 selects
+	// classical partial pivoting.
+	PivotThreshold float64
+}
+
+// DefaultOptions mirrors the paper's experimental configuration.
+func DefaultOptions() Options { return Options{BlockSize: 25, Amalgamate: 4} }
+
+func (o Options) analyzeOptions() core.AnalyzeOptions {
+	bs := o.BlockSize
+	if bs <= 0 {
+		bs = 25
+	}
+	return core.AnalyzeOptions{
+		SkipOrdering: o.SkipOrdering,
+		Ordering:     o.Ordering,
+		Supernode:    supernode.Options{MaxBlock: bs, Amalgamate: o.Amalgamate},
+	}
+}
+
+// analyze runs the analyze phase and applies the numeric options.
+func (o Options) analyze(a *Matrix) *core.Symbolic {
+	sym := core.Analyze(a, o.analyzeOptions())
+	sym.PivotTol = o.PivotThreshold
+	return sym
+}
+
+// Factorization holds the symbolic analysis and numeric factors of a matrix.
+// The symbolic part (ordering, static structure, partition) can be reused
+// across numeric refactorizations of matrices with the same pattern.
+type Factorization struct {
+	sym  *core.Symbolic
+	fact *core.Factorization
+
+	// Distribution of a parallel run, kept for SolveDistributed.
+	parOwner []int
+	parProcs int
+	parModel machine.Model
+	parGrid  [2]int // pr x pc when the run used the 2D codes
+}
+
+// validate rejects matrices the pipeline cannot factor before any expensive
+// work happens: non-square shapes, empty rows or columns (structural
+// singularity), and diagonal-free inputs when reordering is disabled.
+func validate(a *Matrix, o Options) error {
+	if a.N != a.M {
+		return fmt.Errorf("sstar: matrix must be square, got %dx%d", a.N, a.M)
+	}
+	if a.N == 0 {
+		return fmt.Errorf("sstar: empty matrix")
+	}
+	colSeen := make([]bool, a.M)
+	for i := 0; i < a.N; i++ {
+		cols, _ := a.Row(i)
+		if len(cols) == 0 {
+			return fmt.Errorf("sstar: row %d is empty (structurally singular)", i)
+		}
+		for _, j := range cols {
+			colSeen[j] = true
+		}
+	}
+	for j, seen := range colSeen {
+		if !seen {
+			return fmt.Errorf("sstar: column %d is empty (structurally singular)", j)
+		}
+	}
+	if o.SkipOrdering && !a.HasZeroFreeDiagonal() {
+		return fmt.Errorf("sstar: SkipOrdering requires a structurally zero-free diagonal")
+	}
+	return nil
+}
+
+// Factorize analyzes and numerically factorizes a.
+func Factorize(a *Matrix, o Options) (*Factorization, error) {
+	if err := validate(a, o); err != nil {
+		return nil, err
+	}
+	sym := o.analyze(a)
+	fact, err := core.FactorizeSeq(a, sym)
+	if err != nil {
+		return nil, err
+	}
+	return &Factorization{sym: sym, fact: fact}, nil
+}
+
+// Refactorize reuses the symbolic analysis to factorize a matrix with the
+// same nonzero pattern but new values — the cheap path for time-stepping
+// applications that repeatedly solve evolving systems.
+func (f *Factorization) Refactorize(a *Matrix) error {
+	if a.N != f.sym.N {
+		return fmt.Errorf("sstar: refactorize size mismatch: %d vs %d", a.N, f.sym.N)
+	}
+	fact, err := core.FactorizeSeq(a, f.sym)
+	if err != nil {
+		return err
+	}
+	f.fact = fact
+	return nil
+}
+
+// Solve solves A x = b using the computed factors.
+func (f *Factorization) Solve(b []float64) ([]float64, error) {
+	if len(b) != f.sym.N {
+		return nil, fmt.Errorf("sstar: rhs length %d, want %d", len(b), f.sym.N)
+	}
+	return f.fact.Solve(b), nil
+}
+
+// FillIn returns the number of storage entries of the factors (including the
+// explicit padding zeros of the block representation).
+func (f *Factorization) FillIn() int64 { return f.fact.BM.StorageEntries() }
+
+// StaticFill returns the entry count of the George-Ng static structure
+// (before block padding).
+func (f *Factorization) StaticFill() int { return f.sym.Static.NnzTotal() }
+
+// Blocks returns the number of supernode panels of the 2D partition.
+func (f *Factorization) Blocks() int { return f.sym.Partition.NB }
+
+// MachineName selects a virtual machine cost model for parallel runs.
+type MachineName string
+
+// Supported machine models.
+const (
+	T3D MachineName = "t3d" // Cray T3D constants from the paper
+	T3E MachineName = "t3e" // Cray T3E constants from the paper
+)
+
+// Mapping selects a parallel execution strategy.
+type Mapping string
+
+// Supported mappings.
+const (
+	// Map1DCA is the 1D column-block code with block-cyclic mapping and
+	// compute-ahead scheduling (Fig. 10).
+	Map1DCA Mapping = "1d-ca"
+	// Map1DRAPID is the 1D code driven by critical-path graph scheduling
+	// (the RAPID code).
+	Map1DRAPID Mapping = "1d-rapid"
+	// Map2D is the asynchronous 2D block-cyclic code (Figs. 12-15), the
+	// paper's flagship.
+	Map2D Mapping = "2d"
+	// Map2DSync is the 2D code with a global barrier per elimination step
+	// (the Table 7 strawman).
+	Map2DSync Mapping = "2d-sync"
+)
+
+// ParOptions configures a parallel factorization on the virtual machine.
+type ParOptions struct {
+	Options
+	Procs   int
+	Machine MachineName
+	Mapping Mapping
+	// Trace records per-processor task spans on the virtual timelines
+	// (Gantt-style observability; modeled times are unaffected).
+	Trace bool
+}
+
+// RunStats reports the modeled execution of a parallel factorization.
+type RunStats struct {
+	// ParallelTime is the modeled (virtual) wall-clock of the run in
+	// seconds on the selected machine.
+	ParallelTime float64
+	// MFLOPS is the achieved rate by the paper's formula: the operation
+	// count of a dynamic-fill factorization divided by the parallel time.
+	MFLOPS float64
+	// SentBytes and SentMessages total the communication volume.
+	SentBytes    int64
+	SentMessages int64
+	// LoadBalance is work_total/(P*work_max) over update work.
+	LoadBalance float64
+	// Utilization is each processor's charged compute time as a fraction
+	// of the parallel time (waits excluded).
+	Utilization []float64
+}
+
+func model(name MachineName) (machine.Model, error) {
+	switch name {
+	case T3D:
+		return machine.T3D(), nil
+	case T3E, "":
+		return machine.T3E(), nil
+	default:
+		return machine.Model{}, fmt.Errorf("sstar: unknown machine %q", name)
+	}
+}
+
+// FactorizeParallel analyzes and factorizes a on the virtual distributed
+// machine, returning the factors (usable with Solve) plus run statistics.
+func FactorizeParallel(a *Matrix, o ParOptions) (*Factorization, *RunStats, error) {
+	if o.Procs <= 0 {
+		o.Procs = 1
+	}
+	m, err := model(o.Machine)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := validate(a, o.Options); err != nil {
+		return nil, nil, err
+	}
+	sym := o.analyze(a)
+	// Derate the kernel rates for the achieved average panel width (the
+	// paper's DGEMM/DGEMV numbers are calibrated at block size 25).
+	m = m.WithBlockSize(sym.Partition.FlopWeightedWidth())
+	var runOpts []core.RunOption
+	if o.Trace {
+		runOpts = append(runOpts, core.WithTracing())
+	}
+	var res *core.ParResult
+	var owner []int
+	var grid [2]int
+	switch o.Mapping {
+	case Map1DCA:
+		s := core.ScheduleCA(sym, o.Procs)
+		owner = s.Owner
+		res, err = core.Factorize1D(a, sym, m, s, runOpts...)
+	case Map1DRAPID:
+		s := core.ScheduleRAPID(sym, o.Procs, m)
+		owner = s.Owner
+		res, err = core.Factorize1D(a, sym, m, s, runOpts...)
+	case Map2D, "":
+		pr, pc := core.GridShape(o.Procs)
+		grid = [2]int{pr, pc}
+		res, err = core.Factorize2D(a, sym, m, pr, pc, true, runOpts...)
+	case Map2DSync:
+		pr, pc := core.GridShape(o.Procs)
+		grid = [2]int{pr, pc}
+		res, err = core.Factorize2D(a, sym, m, pr, pc, false, runOpts...)
+	default:
+		return nil, nil, fmt.Errorf("sstar: unknown mapping %q", o.Mapping)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// MFLOPS by the paper's convention: dynamic-fill operation count over
+	// parallel time.
+	gp, gerr := core.GPFactorize(sym.PermutedMatrix(a), 1.0)
+	mf := 0.0
+	if gerr == nil && res.ParallelTime > 0 {
+		mf = float64(gp.Flops) / res.ParallelTime / 1e6
+	}
+	stats := &RunStats{
+		ParallelTime: res.ParallelTime,
+		MFLOPS:       mf,
+		SentBytes:    res.SentBytes,
+		SentMessages: res.SentMessages,
+		LoadBalance:  res.LoadBalance,
+	}
+	if res.ParallelTime > 0 {
+		stats.Utilization = make([]float64, len(res.BusySeconds))
+		for i, busy := range res.BusySeconds {
+			stats.Utilization[i] = busy / res.ParallelTime
+		}
+	}
+	return &Factorization{sym: sym, fact: res.Fact, parOwner: owner, parProcs: o.Procs, parModel: m, parGrid: grid}, stats, nil
+}
+
+// Residual returns ||Ax-b||_inf / (||A||_inf ||x||_inf + ||b||_inf), the
+// scaled backward-error measure used throughout the test suite.
+func Residual(a *Matrix, x, b []float64) float64 {
+	r := make([]float64, a.N)
+	a.MulVec(x, r)
+	num, xn, bn := 0.0, 0.0, 0.0
+	for i := range r {
+		num = max(num, abs(r[i]-b[i]))
+		xn = max(xn, abs(x[i]))
+		bn = max(bn, abs(b[i]))
+	}
+	den := a.NormInf()*xn + bn
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
