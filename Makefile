@@ -1,0 +1,18 @@
+GO ?= go
+
+.PHONY: check build test race bench-kernels
+
+check: ## vet + build + tests + race detector (CI gate)
+	sh scripts/check.sh
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/machine ./internal/core ./internal/xblas
+
+bench-kernels: ## regenerate the tracked kernel benchmark report
+	$(GO) run ./cmd/sstar-bench -experiment kernels -out BENCH_kernels.json

@@ -6,9 +6,10 @@
 //	sstar-bench -experiment all                 # everything (several minutes)
 //	sstar-bench -experiment table6 -scale 0.5   # one artifact, smaller inputs
 //	sstar-bench -experiment ablations -matrix goodwin
+//	sstar-bench -experiment kernels             # kernel GFLOP/s -> BENCH_kernels.json
 //
-// Experiments: table1 table2 table3 table4 table5 table6 table7 fig16 fig17
-// fig18 ablations all.
+// Experiments: kernels table1 table2 table3 table4 table5 table6 table7 fig16
+// fig17 fig18 ablations all.
 package main
 
 import (
@@ -30,6 +31,7 @@ func main() {
 		amalg      = flag.Int("r", 4, "amalgamation factor (paper: 4-6)")
 		procsFlag  = flag.String("procs", "", "comma-separated processor counts (default: per-experiment paper values)")
 		matrix     = flag.String("matrix", "goodwin", "matrix for the ablation sweeps")
+		out        = flag.String("out", "BENCH_kernels.json", "output path for the kernels experiment report")
 	)
 	flag.Parse()
 	cfg := bench.Config{Scale: *scale, BSize: *bsize, Amalg: *amalg}
@@ -54,6 +56,17 @@ func main() {
 		run  func() (*bench.Table, error)
 	}
 	jobs := []job{
+		{"kernels", func() (*bench.Table, error) {
+			rep, err := bench.Kernels(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if err := rep.WriteJSON(*out); err != nil {
+				return nil, err
+			}
+			fmt.Printf("wrote %s\n", *out)
+			return rep.Table(), nil
+		}},
 		{"table1", func() (*bench.Table, error) { return bench.Table1(cfg) }},
 		{"table2", func() (*bench.Table, error) { return bench.Table2(cfg) }},
 		{"table3", func() (*bench.Table, error) { return bench.Table3(cfg, parseProcs([]int{2, 4, 8, 16, 32, 64})) }},

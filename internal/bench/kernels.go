@@ -1,0 +1,271 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"sstar/internal/core"
+	"sstar/internal/sparse"
+	"sstar/internal/supernode"
+	"sstar/internal/xblas"
+)
+
+// kernelSizes are the supernode-scale square problem sizes tracked by the
+// kernel benchmark (the paper's panels are 8-40 columns wide; 64 and 128
+// cover amalgamated supernodes and the dense tail of the factorization).
+var kernelSizes = []int{8, 16, 25, 32, 64, 128}
+
+// KernelResult is one measured kernel configuration.
+type KernelResult struct {
+	Kernel  string  `json:"kernel"`
+	M       int     `json:"m"`
+	N       int     `json:"n"`
+	K       int     `json:"k"`
+	NsPerOp float64 `json:"ns_per_op"`
+	GFLOPS  float64 `json:"gflops"`
+}
+
+// EndToEndResult is one wall-clock sequential factorization of a suite
+// matrix.
+type EndToEndResult struct {
+	Matrix        string  `json:"matrix"`
+	Order         int     `json:"order"`
+	Nnz           int     `json:"nnz"`
+	FactorFlops   int64   `json:"factor_flops"`
+	FactorSeconds float64 `json:"factor_seconds"`
+	FactorMFLOPS  float64 `json:"factor_mflops"`
+}
+
+// KernelReport is the tracked benchmark artifact (BENCH_kernels.json): the
+// per-kernel GFLOP/s of the xblas engine plus end-to-end factorization
+// wall-clock on the bundled matrix suite, with enough host context to judge
+// whether two reports are comparable.
+type KernelReport struct {
+	GeneratedAt string           `json:"generated_at"`
+	GoVersion   string           `json:"go_version"`
+	GOOS        string           `json:"goos"`
+	GOARCH      string           `json:"goarch"`
+	NumCPU      int              `json:"num_cpu"`
+	MicroKernel string           `json:"micro_kernel"`
+	Scale       float64          `json:"scale"`
+	BSize       int              `json:"bsize"`
+	Amalg       int              `json:"amalg"`
+	Kernels     []KernelResult   `json:"kernels"`
+	EndToEnd    []EndToEndResult `json:"end_to_end"`
+}
+
+// benchNs times run() with geometrically growing batch sizes until one batch
+// lasts long enough for timer noise not to matter, then reports ns per call.
+func benchNs(run func()) float64 {
+	run() // warm caches, pool buffers and the branch predictor
+	reps := 1
+	for {
+		t0 := time.Now()
+		for i := 0; i < reps; i++ {
+			run()
+		}
+		el := time.Since(t0)
+		if el >= 100*time.Millisecond || reps >= 1<<26 {
+			return float64(el.Nanoseconds()) / float64(reps)
+		}
+		if el <= 0 {
+			reps *= 100
+			continue
+		}
+		next := int(float64(reps) * float64(150*time.Millisecond) / float64(el))
+		if next <= reps {
+			next = reps * 2
+		}
+		reps = next
+	}
+}
+
+func gflopsOf(flops int64, nsPerOp float64) float64 {
+	if nsPerOp <= 0 {
+		return 0
+	}
+	return float64(flops) / nsPerOp
+}
+
+func fillRand(x []float64, seed uint64) {
+	s := seed
+	for i := range x {
+		// xorshift64: deterministic, dependency-free values in (-1, 1).
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		x[i] = float64(int64(s)) / float64(1<<63)
+	}
+}
+
+// Kernels measures the xblas BLAS-3 kernels and core.FactorPanel at
+// supernode sizes, runs the sequential factorization end-to-end over the
+// bundled suite, and returns the report.
+func Kernels(cfg Config) (*KernelReport, error) {
+	rep := &KernelReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		MicroKernel: xblas.KernelName(),
+		Scale:       cfg.Scale,
+		BSize:       cfg.BSize,
+		Amalg:       cfg.Amalg,
+	}
+	for _, s := range kernelSizes {
+		rep.Kernels = append(rep.Kernels,
+			benchGemmKernel("gemm", s, false),
+			benchGemmKernel("gemm_add", s, true),
+			benchGemmScatterKernel(s),
+			benchTrsmKernel(s),
+			benchFactorPanelKernel(s),
+		)
+	}
+	for _, spec := range Suite() {
+		r, err := benchEndToEnd(spec, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rep.EndToEnd = append(rep.EndToEnd, r)
+	}
+	return rep, nil
+}
+
+func benchGemmKernel(name string, s int, add bool) KernelResult {
+	a := make([]float64, s*s)
+	b := make([]float64, s*s)
+	c := make([]float64, s*s)
+	fillRand(a, 1)
+	fillRand(b, 2)
+	fillRand(c, 3)
+	var ns float64
+	if add {
+		ns = benchNs(func() { xblas.GemmAdd(s, s, s, a, s, b, s, c, s) })
+	} else {
+		ns = benchNs(func() { xblas.Gemm(s, s, s, a, s, b, s, c, s) })
+	}
+	flops := int64(2) * int64(s) * int64(s) * int64(s)
+	return KernelResult{Kernel: name, M: s, N: s, K: s, NsPerOp: ns, GFLOPS: gflopsOf(flops, ns)}
+}
+
+func benchGemmScatterKernel(s int) KernelResult {
+	a := make([]float64, s*s)
+	b := make([]float64, s*s)
+	c := make([]float64, s*s)
+	fillRand(a, 4)
+	fillRand(b, 5)
+	fillRand(c, 6)
+	// Full maps: measures the fused gather/scatter path against plain Gemm.
+	rows := make([]int, s)
+	cols := make([]int, s)
+	for i := range rows {
+		rows[i], cols[i] = i, i
+	}
+	ns := benchNs(func() { xblas.GemmScatter(s, s, s, a, s, b, s, c, s, rows, cols) })
+	flops := int64(2) * int64(s) * int64(s) * int64(s)
+	return KernelResult{Kernel: "gemm_scatter", M: s, N: s, K: s, NsPerOp: ns, GFLOPS: gflopsOf(flops, ns)}
+}
+
+func benchTrsmKernel(s int) KernelResult {
+	l := make([]float64, s*s)
+	b := make([]float64, s*s)
+	fillRand(l, 7)
+	fillRand(b, 8)
+	for i := 0; i < s; i++ {
+		l[i*s+i] = 1
+	}
+	ns := benchNs(func() { xblas.TrsmLowerUnitLeft(s, s, l, s, b, s) })
+	flops := int64(s) * int64(s-1) * int64(s) // n * k(k-1) mul-adds
+	return KernelResult{Kernel: "trsm_lower_unit", M: s, N: s, K: s, NsPerOp: ns, GFLOPS: gflopsOf(flops, ns)}
+}
+
+// benchFactorPanelKernel times core.FactorPanel on the leading s-wide panel
+// of a dense 2s-order matrix (an s-by-s diagonal block plus one s-by-s L
+// block — the supernode-panel shape of the paper). The timed loop restores
+// the panel data before each call; the restore copy is O(s^2) against the
+// O(s^3) factorization.
+func benchFactorPanelKernel(s int) KernelResult {
+	a := sparse.Dense(2*s, int64(1000+s))
+	sym := core.Analyze(a, core.AnalyzeOptions{
+		SkipOrdering: true,
+		Supernode:    supernode.Options{MaxBlock: s},
+	})
+	bm := supernode.NewBlockMatrix(sym.Partition, sym.PermutedMatrix(a))
+	ws := core.NewWorkspace(bm)
+	piv := make([]int32, 2*s)
+	diag0 := append([]float64(nil), bm.Diag[0].Data...)
+	lcol0 := append([]float64(nil), bm.LCol[0][0].Data...)
+
+	// Exact flop count from the workspace tally of one factorization.
+	before := ws.Fl.Total()
+	if err := core.FactorPanel(bm, 0, piv, 1, ws); err != nil {
+		panic(fmt.Sprintf("bench: dense panel became singular: %v", err))
+	}
+	flops := ws.Fl.Total() - before
+
+	ns := benchNs(func() {
+		copy(bm.Diag[0].Data, diag0)
+		copy(bm.LCol[0][0].Data, lcol0)
+		if err := core.FactorPanel(bm, 0, piv, 1, ws); err != nil {
+			panic(fmt.Sprintf("bench: dense panel became singular: %v", err))
+		}
+	})
+	return KernelResult{Kernel: "factor_panel", M: 2 * s, N: s, K: s, NsPerOp: ns, GFLOPS: gflopsOf(flops, ns)}
+}
+
+func benchEndToEnd(spec Spec, cfg Config) (EndToEndResult, error) {
+	a := spec.Gen(cfg.Scale)
+	sym := core.Analyze(a, core.AnalyzeOptions{
+		Supernode: supernode.Options{MaxBlock: cfg.BSize, Amalgamate: cfg.Amalg},
+	})
+	t0 := time.Now()
+	fact, err := core.FactorizeSeq(a, sym)
+	if err != nil {
+		return EndToEndResult{}, fmt.Errorf("%s: %w", spec.Name, err)
+	}
+	sec := time.Since(t0).Seconds()
+	return EndToEndResult{
+		Matrix:        spec.Name,
+		Order:         a.N,
+		Nnz:           a.Nnz(),
+		FactorFlops:   fact.Fl.Total(),
+		FactorSeconds: sec,
+		FactorMFLOPS:  mflops(fact.Fl.Total(), sec),
+	}, nil
+}
+
+// WriteJSON writes the report to path, indented for diff-friendly tracking.
+func (r *KernelReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Table renders the report for the terminal.
+func (r *KernelReport) Table() *Table {
+	t := &Table{
+		Title:   "Kernel benchmark: xblas engine and panel factorization",
+		Headers: []string{"kernel", "m", "n", "k", "ns/op", "GFLOP/s"},
+		Notes: []string{
+			fmt.Sprintf("%s %s/%s, %d CPUs, micro-kernel %s", r.GoVersion, r.GOOS, r.GOARCH, r.NumCPU, r.MicroKernel),
+			"end-to-end: sequential S* factorization wall-clock per suite matrix (see JSON)",
+		},
+	}
+	for _, k := range r.Kernels {
+		t.AddRow(k.Kernel,
+			fmt.Sprintf("%d", k.M), fmt.Sprintf("%d", k.N), fmt.Sprintf("%d", k.K),
+			fmt.Sprintf("%.0f", k.NsPerOp), fmt.Sprintf("%.2f", k.GFLOPS))
+	}
+	for _, e := range r.EndToEnd {
+		t.AddRow("factorize:"+e.Matrix,
+			fmt.Sprintf("%d", e.Order), "", fmt.Sprintf("%d", e.Nnz),
+			fmt.Sprintf("%.0f", e.FactorSeconds*1e9), fmt.Sprintf("%.2f", e.FactorMFLOPS/1000))
+	}
+	return t
+}

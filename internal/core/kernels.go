@@ -30,25 +30,55 @@ func (f *Flops) Add(other Flops) {
 func (f Flops) Total() int64 { return f.B1 + f.B2 + f.B3 }
 
 // Workspace holds per-worker scratch so the kernels allocate nothing on the
-// hot path. Each (simulated) processor owns one.
+// hot path. Each (simulated) processor owns one. The rowPos/colPos buffers
+// back the gather/scatter maps of UpdateBlock's fused update path; the
+// drivers pre-size them from the block matrix via NewWorkspace so the zero
+// allocation guarantee holds from the first task on.
 type Workspace struct {
-	temp    []float64
-	tempInt []int
-	Fl      Flops
+	rowPos []int
+	colPos []int
+	Fl     Flops
 }
 
-func (ws *Workspace) scratch(n int) []float64 {
-	if cap(ws.temp) < n {
-		ws.temp = make([]float64, n)
+// NewWorkspace returns a workspace pre-sized for the largest block of bm: the
+// scatter maps fit every L-block row set and every target-block column set
+// without growing mid-run. A zero Workspace{} also works (buffers grow on
+// first use); the drivers use NewWorkspace to keep the hot path allocation
+// free.
+func NewWorkspace(bm *supernode.BlockMatrix) *Workspace {
+	maxR, maxC := 0, 0
+	note := func(b *supernode.Block) {
+		maxR = max(maxR, len(b.Rows))
+		maxC = max(maxC, len(b.Cols))
 	}
-	return ws.temp[:n]
+	for _, d := range bm.Diag {
+		note(d)
+	}
+	for _, col := range bm.LCol {
+		for _, b := range col {
+			note(b)
+		}
+	}
+	for _, row := range bm.URow {
+		for _, b := range row {
+			note(b)
+		}
+	}
+	return &Workspace{rowPos: make([]int, maxR), colPos: make([]int, maxC)}
 }
 
-func (ws *Workspace) scratchInt(n int) []int {
-	if cap(ws.tempInt) < n {
-		ws.tempInt = make([]int, n)
+func (ws *Workspace) rowScratch(n int) []int {
+	if cap(ws.rowPos) < n {
+		ws.rowPos = make([]int, n)
 	}
-	return ws.tempInt[:n]
+	return ws.rowPos[:n]
+}
+
+func (ws *Workspace) colScratch(n int) []int {
+	if cap(ws.colPos) < n {
+		ws.colPos = make([]int, n)
+	}
+	return ws.colPos[:n]
 }
 
 // FactorPanel performs task Factor(k) of Fig. 7 sequentially on the whole
@@ -254,32 +284,21 @@ func UpdateBlock(bm *supernode.BlockMatrix, lb, ub *supernode.Block, ws *Workspa
 		xblas.Gemm(m, n, kk, lb.Data, kk, ub.Data, n, target.Data, len(target.Cols))
 		return
 	}
-	// Scatter path: compute into scratch, then subtract into the mapped
-	// positions. Rows/columns absent from the target's packing can only
-	// receive zero contributions (see above) and are skipped.
-	tmp := ws.scratch(m * n)
-	for p := range tmp {
-		tmp[p] = 0
+	// Fused gather/scatter path: map the product's rows/columns onto the
+	// target's packing and let the kernel compute directly into the mapped
+	// positions — no scratch zero-fill, no second subtract pass.
+	// Rows/columns absent from the target's packing can only receive zero
+	// contributions (see above); the -1 map entries make the kernel skip
+	// them.
+	rowPos := ws.rowScratch(m)
+	for r, gr := range lb.Rows {
+		rowPos[r] = target.RowPos(int(gr))
 	}
-	xblas.GemmAdd(m, n, kk, lb.Data, kk, ub.Data, n, tmp, n)
-	tnc := len(target.Cols)
-	colPos := ws.scratchInt(n)
+	colPos := ws.colScratch(n)
 	for q, c := range ub.Cols {
 		colPos[q] = target.ColPos(int(c))
 	}
-	for r, gr := range lb.Rows {
-		tr := target.RowPos(int(gr))
-		if tr < 0 {
-			continue
-		}
-		trow := target.Data[tr*tnc : (tr+1)*tnc]
-		srow := tmp[r*n : (r+1)*n]
-		for q := range srow {
-			if colPos[q] >= 0 {
-				trow[colPos[q]] -= srow[q]
-			}
-		}
-	}
+	xblas.GemmScatter(m, n, kk, lb.Data, kk, ub.Data, n, target.Data, len(target.Cols), rowPos, colPos)
 }
 
 // UpdatePanelPair runs the whole Update(k, j) task of Fig. 8 (pivot

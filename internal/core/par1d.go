@@ -119,7 +119,7 @@ func Factorize1D(a *sparse.CSR, sym *Symbolic, model machine.Model, s *sched.Sch
 
 	workspaces := make([]*Workspace, s.P)
 	for i := range workspaces {
-		workspaces[i] = &Workspace{}
+		workspaces[i] = NewWorkspace(bm)
 	}
 
 	pt, err := runMachine(mach, func(proc *machine.Proc) {

@@ -88,7 +88,7 @@ func Factorize2D(a *sparse.CSR, sym *Symbolic, model machine.Model, pr, pc int, 
 	piv := make([]int32, sym.N)
 	workspaces := make([]*Workspace, nproc)
 	for i := range workspaces {
-		workspaces[i] = &Workspace{}
+		workspaces[i] = NewWorkspace(bm)
 	}
 	pt, err := runMachine(mach, func(proc *machine.Proc) {
 		x := &proc2d{

@@ -133,9 +133,7 @@ func (f *Factorization) CondEst(a *sparse.CSR) float64 {
 		if zmax <= dot {
 			break
 		}
-		for i := range x {
-			x[i] = 0
-		}
+		clear(x)
 		x[jmax] = 1
 	}
 	return norm1 * est
@@ -158,9 +156,7 @@ func Equilibrate(a *sparse.CSR) (scaled *sparse.CSR, rowScale, colScale []float6
 			rowScale[i] = 1 / m
 		}
 	}
-	for j := range colScale {
-		colScale[j] = 0
-	}
+	clear(colScale)
 	for i := 0; i < n; i++ {
 		cols, vals := a.Row(i)
 		for k, j := range cols {

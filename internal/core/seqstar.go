@@ -114,7 +114,7 @@ type Factorization struct {
 func FactorizeSeq(a *sparse.CSR, sym *Symbolic) (*Factorization, error) {
 	work := sym.PermutedMatrix(a)
 	bm := supernode.NewBlockMatrix(sym.Partition, work)
-	ws := &Workspace{}
+	ws := NewWorkspace(bm)
 	piv := make([]int32, sym.N)
 	p := sym.Partition
 	for k := 0; k < p.NB; k++ {

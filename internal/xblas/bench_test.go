@@ -1,0 +1,106 @@
+package xblas
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Kernel micro-benchmarks at representative supernode block sizes (the
+// paper's BSIZE=25 panels, amalgamated panels up to ~128). b.ReportMetric
+// publishes GFLOP/s so `go test -bench` output doubles as a perf tracker;
+// cmd/sstar-bench -experiment kernels records the same quantities in
+// BENCH_kernels.json.
+
+var gemmBenchSizes = []int{8, 16, 25, 32, 64, 128}
+
+func BenchmarkGemm(b *testing.B) {
+	for _, n := range gemmBenchSizes {
+		b.Run(fmt.Sprintf("%dx%dx%d", n, n, n), func(b *testing.B) {
+			benchGemmN(b, n)
+		})
+	}
+}
+
+func benchGemmN(b *testing.B, n int) {
+	rng := rand.New(rand.NewSource(1))
+	a := randMat(rng, n, n)
+	bb := randMat(rng, n, n)
+	c := randMat(rng, n, n)
+	b.SetBytes(int64(8 * n * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Gemm(n, n, n, a, n, bb, n, c, n)
+	}
+	b.ReportMetric(gflops(2*int64(n)*int64(n)*int64(n), b), "GFLOP/s")
+}
+
+func BenchmarkGemmAdd(b *testing.B) {
+	for _, n := range gemmBenchSizes {
+		b.Run(fmt.Sprintf("%dx%dx%d", n, n, n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(2))
+			a := randMat(rng, n, n)
+			bb := randMat(rng, n, n)
+			c := randMat(rng, n, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				GemmAdd(n, n, n, a, n, bb, n, c, n)
+			}
+			b.ReportMetric(gflops(2*int64(n)*int64(n)*int64(n), b), "GFLOP/s")
+		})
+	}
+}
+
+// BenchmarkGemmRect exercises the panel-update shape of the 1D/2D codes:
+// a tall L block times a BSIZE-wide U block.
+func BenchmarkGemmRect(b *testing.B) {
+	for _, dims := range [][3]int{{128, 25, 25}, {256, 25, 25}, {64, 128, 25}} {
+		m, n, k := dims[0], dims[1], dims[2]
+		b.Run(fmt.Sprintf("%dx%dx%d", m, n, k), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(3))
+			a := randMat(rng, m, k)
+			bb := randMat(rng, k, n)
+			c := randMat(rng, m, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Gemm(m, n, k, a, k, bb, n, c, n)
+			}
+			b.ReportMetric(gflops(2*int64(m)*int64(n)*int64(k), b), "GFLOP/s")
+		})
+	}
+}
+
+func BenchmarkTrsm(b *testing.B) {
+	for _, n := range gemmBenchSizes {
+		b.Run(fmt.Sprintf("%dx%d", n, n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(4))
+			l := randMat(rng, n, n)
+			for i := 0; i < n; i++ {
+				l[i*n+i] = 1
+			}
+			x := randMat(rng, n, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				TrsmLowerUnitLeft(n, n, l, n, x, n)
+			}
+			b.ReportMetric(gflops(int64(n)*int64(n)*int64(n-1), b), "GFLOP/s")
+		})
+	}
+}
+
+func BenchmarkGemv25(b *testing.B) {
+	n := 25
+	rng := rand.New(rand.NewSource(1))
+	a := randMat(rng, n, n)
+	x := randMat(rng, n, 1)
+	y := randMat(rng, n, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Gemv(n, n, 1, a, n, x, 1, y)
+	}
+}
+
+// gflops converts the per-iteration flop count into a GFLOP/s rate.
+func gflops(flopsPerOp int64, b *testing.B) float64 {
+	return float64(flopsPerOp) * float64(b.N) / b.Elapsed().Seconds() / 1e9
+}

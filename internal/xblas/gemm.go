@@ -1,0 +1,382 @@
+// Packed, register-tiled GEMM engine.
+//
+// All BLAS-3 routines (Gemm, GemmAdd, GemmScatter, TrsmLowerUnitLeft) run on
+// one micro-architecture: operand panels are packed into contiguous tiles and
+// an unrolled mr-by-nr accumulator micro-kernel sweeps them, BLIS-style.
+//
+//   - A panels are packed into strips of mr rows: strip element (l, i) sits at
+//     offset l*mr+i, so each k-step of the micro-kernel reads mr contiguous
+//     values.
+//   - B panels are packed into strips of nr columns: strip element (l, j) sits
+//     at offset l*nr+j.
+//   - The micro-kernel keeps the full mr-by-nr product tile in registers,
+//     accumulating over the whole k extent with fused multiply-adds, and folds
+//     the tile into C with a single rounding per element: C += sign*acc.
+//
+// On amd64 with AVX2+FMA (detected at startup via CPUID) the micro-kernel is
+// hand-written vector assembly; everywhere else a math.FMA-based pure-Go
+// kernel runs. Both accumulate in the same order with correctly-rounded fused
+// multiply-adds, so the results are bitwise identical across platforms — the
+// property the repo's determinism guarantees rest on. For the same reason
+// every element's accumulation order equals the naive triple loop's (ascending
+// l, one final fold into C), so the packed kernels bit-match an FMA-based
+// naive reference exactly.
+//
+// The k extent is deliberately NOT split into cache blocks: S*'s supernode
+// panels keep k at or below the block size (≤ ~128), the packed panels stay
+// cache-resident, and full-k accumulation is what makes the single-rounding
+// write-back (and hence exact reproducibility) possible.
+package xblas
+
+import (
+	"math"
+	"sync"
+)
+
+// Tile constants of the engine. To re-tune for a new machine, adjust the
+// cache blocks (mcBlock rows of A, ncBlock columns of B per packed panel)
+// freely; the micro-tile shape mr×nr is fixed by the amd64 micro-kernel
+// (8 vector accumulators of 4 lanes), so changing it means updating
+// gemm_amd64.s and kernel4x8go together.
+const (
+	mr = 4 // micro-tile rows (A-panel strip width)
+	nr = 8 // micro-tile columns (B-panel strip width)
+
+	mcBlock = 96  // A-panel rows per cache block (multiple of mr)
+	ncBlock = 256 // B-panel columns per cache block (multiple of nr)
+
+	// smallGemmFlops: at or below this many flops (2*m*n*k) the packing
+	// overhead outweighs the micro-kernel win and a direct FMA triple loop
+	// runs instead. Both paths produce bitwise-identical results, so the
+	// threshold is a pure tuning knob.
+	smallGemmFlops = 2 * 4 * 4 * 4
+)
+
+// packBuf holds the pooled packing buffers of one in-flight GEMM call.
+type packBuf struct {
+	a, b       []float64
+	rsrc, rdst []int
+	csrc, cdst []int
+}
+
+var packPool = sync.Pool{New: func() any { return new(packBuf) }}
+
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+func growInt(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+func roundUp(n, q int) int { return (n + q - 1) / q * q }
+
+// Gemm computes C = C - A*B (the update form used throughout sparse LU:
+// A_ij -= L_ik * U_kj) for row-major A (m-by-k, stride lda), B (k-by-n,
+// stride ldb) and C (m-by-n, stride ldc). Flops: 2*m*n*k.
+func Gemm(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	if m == 0 || n == 0 || k == 0 {
+		return
+	}
+	gemmEngine(m, n, k, a, lda, b, ldb, c, ldc, -1)
+}
+
+// GemmAdd computes C = C + A*B with the same layout conventions as Gemm.
+func GemmAdd(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	if m == 0 || n == 0 || k == 0 {
+		return
+	}
+	gemmEngine(m, n, k, a, lda, b, ldb, c, ldc, 1)
+}
+
+// gemmEngine is the shared packed driver: C += sign * A*B.
+func gemmEngine(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int, sign float64) {
+	if 2*m*n*k <= smallGemmFlops {
+		smallGemm(m, n, k, a, lda, b, ldb, c, ldc, sign)
+		return
+	}
+	pb := packPool.Get().(*packBuf)
+	for jc := 0; jc < n; jc += ncBlock {
+		ncb := min(ncBlock, n-jc)
+		ncbPad := roundUp(ncb, nr)
+		pb.b = grow(pb.b, ncbPad*k)
+		packB(pb.b, b, ldb, jc, k, ncb)
+		for ic := 0; ic < m; ic += mcBlock {
+			mcb := min(mcBlock, m-ic)
+			mcbPad := roundUp(mcb, mr)
+			pb.a = grow(pb.a, mcbPad*k)
+			packA(pb.a, a, lda, ic, k, mcb)
+			for jr := 0; jr < ncb; jr += nr {
+				bs := pb.b[jr*k:]
+				fullN := jr+nr <= ncb
+				for ir := 0; ir < mcb; ir += mr {
+					as := pb.a[ir*k:]
+					if fullN && ir+mr <= mcb {
+						kernel4x8(k, as, bs, c[(ic+ir)*ldc+jc+jr:], ldc, sign)
+					} else {
+						var tmp [mr * nr]float64
+						kernel4x8(k, as, bs, tmp[:], nr, 1)
+						addTile(c, ldc, ic+ir, jc+jr, min(mr, mcb-ir), min(nr, ncb-jr), &tmp, sign)
+					}
+				}
+			}
+		}
+	}
+	packPool.Put(pb)
+}
+
+// smallGemm is the direct path for tiny products: an FMA triple loop with the
+// same per-element accumulation order and single-rounding fold as the packed
+// path, so the two are bitwise interchangeable.
+func smallGemm(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int, sign float64) {
+	for i := 0; i < m; i++ {
+		arow := a[i*lda : i*lda+k]
+		crow := c[i*ldc : i*ldc+n]
+		for j := 0; j < n; j++ {
+			acc := 0.0
+			for l, av := range arow {
+				acc = math.FMA(av, b[l*ldb+j], acc)
+			}
+			crow[j] = math.FMA(sign, acc, crow[j])
+		}
+	}
+}
+
+// packA packs rows [ic, ic+rows) of A (full k extent) into strips of mr rows;
+// strip s holds element (l, i) at offset s*mr*k + l*mr + i. Rows past the end
+// are zero-padded so the micro-kernel always runs full tiles.
+func packA(dst, a []float64, lda, ic, k, rows int) {
+	rowsPad := roundUp(rows, mr)
+	for ir := 0; ir < rowsPad; ir += mr {
+		strip := dst[ir*k : (ir+mr)*k]
+		for ii := 0; ii < mr; ii++ {
+			if ir+ii >= rows {
+				for l := 0; l < k; l++ {
+					strip[l*mr+ii] = 0
+				}
+				continue
+			}
+			arow := a[(ic+ir+ii)*lda : (ic+ir+ii)*lda+k]
+			for l, v := range arow {
+				strip[l*mr+ii] = v
+			}
+		}
+	}
+}
+
+// packB packs columns [jc, jc+cols) of B (full k extent) into strips of nr
+// columns; strip s holds element (l, j) at offset s*nr*k + l*nr + j, with
+// zero padding past the last column.
+func packB(dst, b []float64, ldb, jc, k, cols int) {
+	colsPad := roundUp(cols, nr)
+	for jr := 0; jr < colsPad; jr += nr {
+		strip := dst[jr*k : (jr+nr)*k]
+		w := min(nr, cols-jr)
+		for l := 0; l < k; l++ {
+			brow := b[l*ldb+jc+jr : l*ldb+jc+jr+w]
+			drow := strip[l*nr : l*nr+nr]
+			copy(drow, brow)
+			for jj := w; jj < nr; jj++ {
+				drow[jj] = 0
+			}
+		}
+	}
+}
+
+// addTile folds the valid mi-by-nj region of a micro-tile into C.
+func addTile(c []float64, ldc, i0, j0, mi, nj int, tmp *[mr * nr]float64, sign float64) {
+	for ii := 0; ii < mi; ii++ {
+		crow := c[(i0+ii)*ldc+j0:]
+		trow := tmp[ii*nr:]
+		for jj := 0; jj < nj; jj++ {
+			crow[jj] = math.FMA(sign, trow[jj], crow[jj])
+		}
+	}
+}
+
+// kernel4x8go is the portable micro-kernel: a 4x8 accumulator tile swept over
+// packed strips with correctly-rounded fused multiply-adds (math.FMA), then
+// folded into C with one rounding per element — bitwise identical to the
+// amd64 vector kernel.
+func kernel4x8go(kc int, a, b, c []float64, ldc int, sign float64) {
+	var acc [mr * nr]float64
+	for l := 0; l < kc; l++ {
+		bl := b[l*nr : l*nr+nr]
+		al := a[l*mr : l*mr+mr]
+		for i, av := range al {
+			row := acc[i*nr : i*nr+nr]
+			for j, bv := range bl {
+				row[j] = math.FMA(av, bv, row[j])
+			}
+		}
+	}
+	for i := 0; i < mr; i++ {
+		crow := c[i*ldc : i*ldc+nr]
+		arow := acc[i*nr : i*nr+nr]
+		for j, v := range arow {
+			crow[j] = math.FMA(sign, v, crow[j])
+		}
+	}
+}
+
+// GemmScatter computes the fused gather/scatter update
+//
+//	C[dstRow[i], dstCol[j]] -= (A*B)[i, j]
+//
+// for row-major A (m-by-k, stride lda) and B (k-by-n, stride ldb), writing
+// directly into the mapped positions of C (stride ldc). Entries of dstRow /
+// dstCol equal to -1 mark product rows/columns with no slot in C; their
+// contributions are skipped entirely (they are structural zeros in the S*
+// update). This replaces the compute-into-scratch + subtract-pass sequence:
+// rows and columns are gathered during packing, the micro-kernel accumulates
+// the tile in registers, and the write-back scatters with a single rounding
+// per element, bit-matching the naive gather/scatter triple loop.
+func GemmScatter(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int, dstRow, dstCol []int) {
+	if m == 0 || n == 0 || k == 0 {
+		return
+	}
+	pb := packPool.Get().(*packBuf)
+	// Compact away rows/columns without a target slot.
+	pb.rsrc, pb.rdst = growInt(pb.rsrc, m), growInt(pb.rdst, m)
+	mv := 0
+	for i, t := range dstRow[:m] {
+		if t >= 0 {
+			pb.rsrc[mv], pb.rdst[mv] = i, t
+			mv++
+		}
+	}
+	pb.csrc, pb.cdst = growInt(pb.csrc, n), growInt(pb.cdst, n)
+	nv := 0
+	for j, t := range dstCol[:n] {
+		if t >= 0 {
+			pb.csrc[nv], pb.cdst[nv] = j, t
+			nv++
+		}
+	}
+	if mv == 0 || nv == 0 {
+		packPool.Put(pb)
+		return
+	}
+	rsrc, rdst := pb.rsrc[:mv], pb.rdst[:mv]
+	csrc, cdst := pb.csrc[:nv], pb.cdst[:nv]
+	if 2*mv*nv*k <= smallGemmFlops {
+		for ii, sr := range rsrc {
+			arow := a[sr*lda : sr*lda+k]
+			crow := c[rdst[ii]*ldc:]
+			for jj, sc := range csrc {
+				acc := 0.0
+				for l, av := range arow {
+					acc = math.FMA(av, b[l*ldb+sc], acc)
+				}
+				crow[cdst[jj]] -= acc
+			}
+		}
+		packPool.Put(pb)
+		return
+	}
+	mvPad, nvPad := roundUp(mv, mr), roundUp(nv, nr)
+	pb.a = grow(pb.a, mvPad*k)
+	packAGather(pb.a, a, lda, rsrc, k)
+	pb.b = grow(pb.b, nvPad*k)
+	packBGather(pb.b, b, ldb, csrc, k)
+	for jr := 0; jr < nv; jr += nr {
+		bs := pb.b[jr*k:]
+		nj := min(nr, nv-jr)
+		for ir := 0; ir < mv; ir += mr {
+			mi := min(mr, mv-ir)
+			var tmp [mr * nr]float64
+			kernel4x8(k, pb.a[ir*k:], bs, tmp[:], nr, 1)
+			for ii := 0; ii < mi; ii++ {
+				crow := c[rdst[ir+ii]*ldc:]
+				trow := tmp[ii*nr:]
+				for jj := 0; jj < nj; jj++ {
+					crow[cdst[jr+jj]] -= trow[jj]
+				}
+			}
+		}
+	}
+	packPool.Put(pb)
+}
+
+// packAGather packs the gathered rows src of A into mr strips (zero padding
+// past the last row).
+func packAGather(dst, a []float64, lda int, src []int, k int) {
+	rows := len(src)
+	rowsPad := roundUp(rows, mr)
+	for ir := 0; ir < rowsPad; ir += mr {
+		strip := dst[ir*k : (ir+mr)*k]
+		for ii := 0; ii < mr; ii++ {
+			if ir+ii >= rows {
+				for l := 0; l < k; l++ {
+					strip[l*mr+ii] = 0
+				}
+				continue
+			}
+			arow := a[src[ir+ii]*lda : src[ir+ii]*lda+k]
+			for l, v := range arow {
+				strip[l*mr+ii] = v
+			}
+		}
+	}
+}
+
+// packBGather packs the gathered columns src of B into nr strips (zero
+// padding past the last column).
+func packBGather(dst, b []float64, ldb int, src []int, k int) {
+	cols := len(src)
+	colsPad := roundUp(cols, nr)
+	for jr := 0; jr < colsPad; jr += nr {
+		strip := dst[jr*k : (jr+nr)*k]
+		w := min(nr, cols-jr)
+		for l := 0; l < k; l++ {
+			brow := b[l*ldb:]
+			drow := strip[l*nr : l*nr+nr]
+			for jj := 0; jj < w; jj++ {
+				drow[jj] = brow[src[jr+jj]]
+			}
+			for jj := w; jj < nr; jj++ {
+				drow[jj] = 0
+			}
+		}
+	}
+}
+
+// trsmBlock is the diagonal-block edge of the blocked triangular solve.
+const trsmBlock = 16
+
+// TrsmLowerUnitLeft solves L * X = B in place for a unit lower-triangular
+// k-by-k L (row-major, stride ldl); B is k-by-n (row-major, stride ldb) and
+// is overwritten with X. This is the "U_kj = L_kk^{-1} U_kj" operation of
+// task Update (Fig. 8 line 05). The solve is blocked: small triangular
+// eliminations on trsmBlock-row diagonal blocks, with the trailing rows
+// updated by the packed GEMM engine — true BLAS-3. Flops: n*k*(k-1).
+func TrsmLowerUnitLeft(k, n int, l []float64, ldl int, b []float64, ldb int) {
+	if k == 0 || n == 0 {
+		return
+	}
+	for ib := 0; ib < k; ib += trsmBlock {
+		tb := min(trsmBlock, k-ib)
+		// Triangular solve of the diagonal block rows.
+		for i := ib + 1; i < ib+tb; i++ {
+			brow := b[i*ldb : i*ldb+n]
+			lrow := l[i*ldl:]
+			for p := ib; p < i; p++ {
+				lip := lrow[p]
+				prow := b[p*ldb : p*ldb+n]
+				for j, v := range prow {
+					brow[j] -= lip * v
+				}
+			}
+		}
+		// Trailing-panel update B[ib+tb:] -= L[ib+tb:, ib:ib+tb] * B[ib:ib+tb].
+		if rem := k - ib - tb; rem > 0 {
+			Gemm(rem, n, tb, l[(ib+tb)*ldl+ib:], ldl, b[ib*ldb:], ldb, b[(ib+tb)*ldb:], ldb)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// AVX2+FMA micro-kernel for the packed GEMM engine.
+//
+// Register plan for kernel4x8asm:
+//   Y0..Y7   4x8 accumulator tile (row i in Y(2i) [cols 0..3] and Y(2i+1)
+//            [cols 4..7])
+//   Y12,Y13  current B strip row (8 columns)
+//   Y14,Y15  broadcast A values
+// The write-back folds C += sign*acc with one FMA (single rounding) per
+// element, matching the portable math.FMA kernel bit for bit.
+
+#include "textflag.h"
+
+// func x86HasAVX2FMA() bool
+TEXT ·x86HasAVX2FMA(SB), NOSPLIT, $0-1
+	// CPUID.(EAX=1):ECX — FMA (bit 12), OSXSAVE (bit 27), AVX (bit 28).
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL CX, R8
+	ANDL $(1<<12 | 1<<27 | 1<<28), R8
+	CMPL R8, $(1<<12 | 1<<27 | 1<<28)
+	JNE  no
+	// XGETBV(XCR0): SSE (bit 1) and YMM (bit 2) state enabled by the OS.
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  no
+	// CPUID.(EAX=7,ECX=0):EBX — AVX2 (bit 5).
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	ANDL $(1<<5), BX
+	JZ   no
+	MOVB $1, ret+0(FP)
+	RET
+no:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func kernel4x8asm(kc int, a, b, c *float64, ldc int, sign float64)
+TEXT ·kernel4x8asm(SB), NOSPLIT, $0-48
+	MOVQ kc+0(FP), CX
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), BX
+	MOVQ c+24(FP), DI
+	MOVQ ldc+32(FP), R8
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+
+loop:
+	VMOVUPD      (BX), Y12
+	VMOVUPD      32(BX), Y13
+	VBROADCASTSD (SI), Y14
+	VBROADCASTSD 8(SI), Y15
+	VFMADD231PD  Y12, Y14, Y0
+	VFMADD231PD  Y13, Y14, Y1
+	VFMADD231PD  Y12, Y15, Y2
+	VFMADD231PD  Y13, Y15, Y3
+	VBROADCASTSD 16(SI), Y14
+	VBROADCASTSD 24(SI), Y15
+	VFMADD231PD  Y12, Y14, Y4
+	VFMADD231PD  Y13, Y14, Y5
+	VFMADD231PD  Y12, Y15, Y6
+	VFMADD231PD  Y13, Y15, Y7
+	ADDQ         $32, SI
+	ADDQ         $64, BX
+	DECQ         CX
+	JNZ          loop
+
+	// Write back: C[i] += sign * acc[i], one rounding per element.
+	VBROADCASTSD sign+40(FP), Y15
+	SHLQ         $3, R8
+	LEAQ         (DI)(R8*1), R9
+	LEAQ         (R9)(R8*1), R10
+	LEAQ         (R10)(R8*1), R11
+
+	VMOVUPD     (DI), Y12
+	VFMADD231PD Y15, Y0, Y12
+	VMOVUPD     Y12, (DI)
+	VMOVUPD     32(DI), Y13
+	VFMADD231PD Y15, Y1, Y13
+	VMOVUPD     Y13, 32(DI)
+
+	VMOVUPD     (R9), Y12
+	VFMADD231PD Y15, Y2, Y12
+	VMOVUPD     Y12, (R9)
+	VMOVUPD     32(R9), Y13
+	VFMADD231PD Y15, Y3, Y13
+	VMOVUPD     Y13, 32(R9)
+
+	VMOVUPD     (R10), Y12
+	VFMADD231PD Y15, Y4, Y12
+	VMOVUPD     Y12, (R10)
+	VMOVUPD     32(R10), Y13
+	VFMADD231PD Y15, Y5, Y13
+	VMOVUPD     Y13, 32(R10)
+
+	VMOVUPD     (R11), Y12
+	VFMADD231PD Y15, Y6, Y12
+	VMOVUPD     Y12, (R11)
+	VMOVUPD     32(R11), Y13
+	VFMADD231PD Y15, Y7, Y13
+	VMOVUPD     Y13, 32(R11)
+
+	VZEROUPPER
+	RET

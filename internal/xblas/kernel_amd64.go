@@ -1,0 +1,38 @@
+//go:build amd64
+
+package xblas
+
+// useAsmKernel reports whether the AVX2+FMA vector micro-kernel can run on
+// this CPU (checked once at startup via CPUID/XGETBV). The fallback
+// kernel4x8go produces bitwise-identical results, so the switch is purely a
+// speed decision.
+var useAsmKernel = x86HasAVX2FMA()
+
+// x86HasAVX2FMA reports AVX2+FMA hardware support with OS-enabled YMM state.
+// Implemented in gemm_amd64.s.
+func x86HasAVX2FMA() bool
+
+// kernel4x8asm computes the 4x8 micro-tile update C += sign * Ap*Bp over
+// packed strips Ap (kc*4, layout l*4+i) and Bp (kc*8, layout l*8+j), with C
+// row-major at stride ldc. Implemented in gemm_amd64.s (AVX2+FMA).
+//
+//go:noescape
+func kernel4x8asm(kc int, a, b, c *float64, ldc int, sign float64)
+
+// KernelName identifies the micro-kernel selected at startup, for benchmark
+// reports.
+func KernelName() string {
+	if useAsmKernel {
+		return "amd64-avx2-fma"
+	}
+	return "portable-fma"
+}
+
+// kernel4x8 dispatches to the vector kernel when available.
+func kernel4x8(kc int, a, b, c []float64, ldc int, sign float64) {
+	if useAsmKernel {
+		kernel4x8asm(kc, &a[0], &b[0], &c[0], ldc, sign)
+		return
+	}
+	kernel4x8go(kc, a, b, c, ldc, sign)
+}

@@ -1,0 +1,15 @@
+//go:build !amd64
+
+package xblas
+
+// KernelName identifies the micro-kernel selected at startup, for benchmark
+// reports.
+func KernelName() string { return "portable-fma" }
+
+// kernel4x8 runs the portable micro-kernel on non-amd64 targets. math.FMA
+// is correctly rounded on every platform (hardware fused multiply-add where
+// available, exact software emulation otherwise), so results are bitwise
+// identical to the amd64 vector kernel.
+func kernel4x8(kc int, a, b, c []float64, ldc int, sign float64) {
+	kernel4x8go(kc, a, b, c, ldc, sign)
+}

@@ -1,0 +1,250 @@
+package xblas
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// Property tests pinning the packed register-tiled kernels to a naive
+// reference implementation.
+//
+// The engine accumulates every C element over the full k extent in ascending
+// order with correctly-rounded fused multiply-adds and folds the result into
+// C with a single rounding — exactly what the FMA triple loop below does. So
+// Gemm, GemmAdd and GemmScatter must bit-match the reference EXACTLY, on
+// every path (small direct, packed interior tiles, padded edge tiles, asm and
+// portable micro-kernels alike). TrsmLowerUnitLeft reassociates the solve
+// into blocked BLAS-3 form, so it gets a 1e-12 relative tolerance instead.
+
+// refGemmSign computes C += sign*A*B the naive way, with the engine's
+// rounding contract (FMA accumulation in ascending l, one fold per element).
+func refGemmSign(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int, sign float64) {
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			acc := 0.0
+			for l := 0; l < k; l++ {
+				acc = math.FMA(a[i*lda+l], b[l*ldb+j], acc)
+			}
+			c[i*ldc+j] = math.FMA(sign, acc, c[i*ldc+j])
+		}
+	}
+}
+
+// refGemmScatter is the naive gather/scatter update: C[dr[i], dc[j]] -=
+// (A*B)[i, j], skipping -1 map entries.
+func refGemmScatter(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int, dstRow, dstCol []int) {
+	for i := 0; i < m; i++ {
+		if dstRow[i] < 0 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if dstCol[j] < 0 {
+				continue
+			}
+			acc := 0.0
+			for l := 0; l < k; l++ {
+				acc = math.FMA(a[i*lda+l], b[l*ldb+j], acc)
+			}
+			c[dstRow[i]*ldc+dstCol[j]] -= acc
+		}
+	}
+}
+
+// refTrsmLowerUnitLeft is the unblocked forward solve.
+func refTrsmLowerUnitLeft(k, n int, l []float64, ldl int, b []float64, ldb int) {
+	for i := 1; i < k; i++ {
+		for p := 0; p < i; p++ {
+			lip := l[i*ldl+p]
+			for j := 0; j < n; j++ {
+				b[i*ldb+j] -= lip * b[p*ldb+j]
+			}
+		}
+	}
+}
+
+// randDims draws a random shape: mostly general rectangles, with degenerate
+// 1-by-n and m-by-1 shapes and micro-tile-boundary sizes mixed in.
+func randDims(rng *rand.Rand) (m, n, k int) {
+	switch rng.Intn(6) {
+	case 0: // degenerate row
+		return 1, 1 + rng.Intn(40), 1 + rng.Intn(40)
+	case 1: // degenerate column
+		return 1 + rng.Intn(40), 1, 1 + rng.Intn(40)
+	case 2: // exact micro-tile multiples
+		return 4 * (1 + rng.Intn(8)), 8 * (1 + rng.Intn(4)), 1 + rng.Intn(40)
+	case 3: // one off the micro-tile boundary
+		return 4*(1+rng.Intn(8)) + 1, 8*(1+rng.Intn(4)) - 1, 1 + rng.Intn(40)
+	default:
+		return 1 + rng.Intn(70), 1 + rng.Intn(70), 1 + rng.Intn(70)
+	}
+}
+
+func bitEqual(x, y []float64) bool {
+	for i := range x {
+		if math.Float64bits(x[i]) != math.Float64bits(y[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestGemmBitMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 300; trial++ {
+		m, n, k := randDims(rng)
+		// Leading dimensions strictly greater than the row width half the
+		// time, to exercise strided packing.
+		lda := k + rng.Intn(7)
+		ldb := n + rng.Intn(7)
+		ldc := n + rng.Intn(7)
+		a := randMat(rng, m, lda)
+		b := randMat(rng, k, ldb)
+		c := randMat(rng, m, ldc)
+		want := append([]float64(nil), c...)
+		sign := -1.0
+		if trial%2 == 0 {
+			sign = 1
+		}
+		refGemmSign(m, n, k, a, lda, b, ldb, want, ldc, sign)
+		if sign < 0 {
+			Gemm(m, n, k, a, lda, b, ldb, c, ldc)
+		} else {
+			GemmAdd(m, n, k, a, lda, b, ldb, c, ldc)
+		}
+		if !bitEqual(c, want) {
+			t.Fatalf("trial %d: Gemm(sign=%v) m=%d n=%d k=%d lda=%d ldb=%d ldc=%d: not bit-identical to reference (max diff %g)",
+				trial, sign, m, n, k, lda, ldb, ldc, maxDiff(c, want))
+		}
+	}
+}
+
+func TestGemmScatterBitMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 300; trial++ {
+		m, n, k := randDims(rng)
+		lda := k + rng.Intn(5)
+		ldb := n + rng.Intn(5)
+		// Target with its own (larger) shape; maps send product rows/cols to
+		// random distinct target slots, with ~1/4 of them dropped (-1).
+		tm, tn := m+rng.Intn(4), n+rng.Intn(4)
+		ldc := tn + rng.Intn(5)
+		dstRow := scatterMap(rng, m, tm)
+		dstCol := scatterMap(rng, n, tn)
+		a := randMat(rng, m, lda)
+		b := randMat(rng, k, ldb)
+		c := randMat(rng, tm, ldc)
+		want := append([]float64(nil), c...)
+		refGemmScatter(m, n, k, a, lda, b, ldb, want, ldc, dstRow, dstCol)
+		GemmScatter(m, n, k, a, lda, b, ldb, c, ldc, dstRow, dstCol)
+		if !bitEqual(c, want) {
+			t.Fatalf("trial %d: GemmScatter m=%d n=%d k=%d: not bit-identical to reference (max diff %g)",
+				trial, m, n, k, maxDiff(c, want))
+		}
+	}
+}
+
+// scatterMap draws an injective map of src positions onto t target slots with
+// about a quarter of the positions unmapped (-1).
+func scatterMap(rng *rand.Rand, src, t int) []int {
+	perm := rng.Perm(t)
+	out := make([]int, src)
+	for i := range out {
+		if rng.Intn(4) == 0 {
+			out[i] = -1
+			continue
+		}
+		out[i] = perm[i%t]
+	}
+	return out
+}
+
+func TestTrsmMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 200; trial++ {
+		// Cross the trsmBlock boundaries (16, 32, 48...) and degenerate n=1.
+		k := 1 + rng.Intn(70)
+		n := 1 + rng.Intn(40)
+		if trial%7 == 0 {
+			n = 1
+		}
+		ldl := k + rng.Intn(5)
+		ldb := n + rng.Intn(5)
+		l := randMat(rng, k, ldl)
+		for i := 0; i < k; i++ {
+			l[i*ldl+i] = 1
+			// Mild off-diagonal magnitudes keep the solve well conditioned,
+			// so the 1e-12 relative tolerance is meaningful.
+			for j := 0; j < i; j++ {
+				l[i*ldl+j] *= 0.5
+			}
+		}
+		b := randMat(rng, k, ldb)
+		want := append([]float64(nil), b...)
+		refTrsmLowerUnitLeft(k, n, l, ldl, want, ldb)
+		TrsmLowerUnitLeft(k, n, l, ldl, b, ldb)
+		scale := 1.0
+		for _, v := range want {
+			scale = math.Max(scale, math.Abs(v))
+		}
+		if d := maxDiff(b, want); d > 1e-12*scale {
+			t.Fatalf("trial %d: Trsm k=%d n=%d ldl=%d ldb=%d: rel diff %g", trial, k, n, ldl, ldb, d/scale)
+		}
+	}
+}
+
+// TestKernelDispatchParity pins the dispatched micro-kernel (vector assembly
+// on capable amd64 hosts) to the portable math.FMA kernel bit for bit.
+func TestKernelDispatchParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for _, kc := range []int{1, 2, 7, 16, 33, 128} {
+		a := randMat(rng, kc, 4)
+		b := randMat(rng, kc, 8)
+		for _, sign := range []float64{1, -1} {
+			ldc := 8 + rng.Intn(4)
+			c1 := randMat(rng, 4, ldc)
+			c2 := append([]float64(nil), c1...)
+			kernel4x8(kc, a, b, c1, ldc, sign)
+			kernel4x8go(kc, a, b, c2, ldc, sign)
+			if !bitEqual(c1, c2) {
+				t.Fatalf("kc=%d sign=%v: dispatched kernel differs from portable kernel on %s", kc, sign, runtime.GOARCH)
+			}
+		}
+	}
+}
+
+// TestGemmConcurrent hammers the shared pack-buffer pool from many
+// goroutines; with -race this verifies the pool discipline, and the bitwise
+// check verifies calls never observe each other's buffers.
+func TestGemmConcurrent(t *testing.T) {
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for trial := 0; trial < 50; trial++ {
+				m, n, k := randDims(rng)
+				a := randMat(rng, m, k)
+				b := randMat(rng, k, n)
+				c := randMat(rng, m, n)
+				want := append([]float64(nil), c...)
+				refGemmSign(m, n, k, a, k, b, n, want, n, -1)
+				Gemm(m, n, k, a, k, b, n, c, n)
+				if !bitEqual(c, want) {
+					errs <- "concurrent Gemm diverged from reference"
+					return
+				}
+			}
+		}(int64(100 + w))
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+}

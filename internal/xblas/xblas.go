@@ -1,10 +1,10 @@
 // Package xblas implements the dense linear-algebra kernels (a BLAS subset)
 // that S* runs its supernode-block updates on. The Cray T3D/T3E libraries the
-// paper links against are replaced by these pure-Go routines; the kernels are
-// written so the inner loops vectorize reasonably, and every routine reports
-// its floating-point operation count so the machine model can charge BLAS-2
-// versus BLAS-3 work at different rates (the distinction the paper's analysis
-// in Section 6.1 hinges on).
+// paper links against are replaced by these stdlib-only routines; the BLAS-3
+// kernels run on the packed register-tiled engine of gemm.go, and every
+// routine reports its floating-point operation count so the machine model can
+// charge BLAS-2 versus BLAS-3 work at different rates (the distinction the
+// paper's analysis in Section 6.1 hinges on).
 //
 // Matrices are dense, column-major is NOT used: all matrices here are
 // row-major with an explicit leading dimension (stride), matching Go slice
@@ -81,85 +81,6 @@ func Ger(m, n int, alpha float64, x, y []float64, a []float64, lda int) {
 	}
 }
 
-// gemmBlock is the cache-blocking tile edge for Gemm.
-const gemmBlock = 48
-
-// Gemm computes C = C - A*B (the update form used throughout sparse LU:
-// A_ij -= L_ik * U_kj) for row-major A (m-by-k, stride lda), B (k-by-n,
-// stride ldb) and C (m-by-n, stride ldc). Flops: 2*m*n*k.
-func Gemm(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
-	if m == 0 || n == 0 || k == 0 {
-		return
-	}
-	// Blocked i-k-j loop order: the innermost loop runs along rows of B and
-	// C, which are contiguous, so it auto-vectorizes.
-	for ii := 0; ii < m; ii += gemmBlock {
-		iMax := min(ii+gemmBlock, m)
-		for kk := 0; kk < k; kk += gemmBlock {
-			kMax := min(kk+gemmBlock, k)
-			for i := ii; i < iMax; i++ {
-				crow := c[i*ldc : i*ldc+n]
-				arow := a[i*lda:]
-				for l := kk; l < kMax; l++ {
-					ail := arow[l]
-					if ail == 0 {
-						continue
-					}
-					brow := b[l*ldb : l*ldb+n]
-					for j, v := range brow {
-						crow[j] -= ail * v
-					}
-				}
-			}
-		}
-	}
-}
-
-// GemmAdd computes C = C + A*B with the same layout conventions as Gemm.
-func GemmAdd(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
-	for ii := 0; ii < m; ii += gemmBlock {
-		iMax := min(ii+gemmBlock, m)
-		for kk := 0; kk < k; kk += gemmBlock {
-			kMax := min(kk+gemmBlock, k)
-			for i := ii; i < iMax; i++ {
-				crow := c[i*ldc : i*ldc+n]
-				arow := a[i*lda:]
-				for l := kk; l < kMax; l++ {
-					ail := arow[l]
-					if ail == 0 {
-						continue
-					}
-					brow := b[l*ldb : l*ldb+n]
-					for j, v := range brow {
-						crow[j] += ail * v
-					}
-				}
-			}
-		}
-	}
-}
-
-// TrsmLowerUnitLeft solves L * X = B in place for a unit lower-triangular
-// k-by-k L (row-major, stride ldl); B is k-by-n (row-major, stride ldb) and
-// is overwritten with X. This is the "U_kj = L_kk^{-1} U_kj" operation of
-// task Update (Fig. 8 line 05). Flops: n*k*(k-1).
-func TrsmLowerUnitLeft(k, n int, l []float64, ldl int, b []float64, ldb int) {
-	for i := 1; i < k; i++ {
-		brow := b[i*ldb : i*ldb+n]
-		lrow := l[i*ldl:]
-		for p := 0; p < i; p++ {
-			lip := lrow[p]
-			if lip == 0 {
-				continue
-			}
-			prow := b[p*ldb : p*ldb+n]
-			for j, v := range prow {
-				brow[j] -= lip * v
-			}
-		}
-	}
-}
-
 // TrsvLowerUnit solves L*x = b in place for unit lower-triangular L (n-by-n,
 // stride ldl), overwriting b with x. Flops: n*(n-1).
 func TrsvLowerUnit(n int, l []float64, ldl int, b []float64) {
@@ -184,11 +105,4 @@ func TrsvUpper(n int, u []float64, ldu int, b []float64) {
 		}
 		b[i] = s / row[i]
 	}
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

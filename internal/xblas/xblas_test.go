@@ -265,30 +265,3 @@ func TestGemmLinearityProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
-
-func BenchmarkGemm25(b *testing.B) { benchGemm(b, 25) }
-func BenchmarkGemm64(b *testing.B) { benchGemm(b, 64) }
-
-func benchGemm(b *testing.B, n int) {
-	rng := rand.New(rand.NewSource(1))
-	a := randMat(rng, n, n)
-	bm := randMat(rng, n, n)
-	c := randMat(rng, n, n)
-	b.SetBytes(int64(8 * n * n))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		Gemm(n, n, n, a, n, bm, n, c, n)
-	}
-}
-
-func BenchmarkGemv25(b *testing.B) {
-	n := 25
-	rng := rand.New(rand.NewSource(1))
-	a := randMat(rng, n, n)
-	x := randMat(rng, n, 1)
-	y := randMat(rng, n, 1)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		Gemv(n, n, 1, a, n, x, 1, y)
-	}
-}

@@ -1,0 +1,10 @@
+#!/bin/sh
+# Repo-wide checks: vet, build, full tests, then the race detector over the
+# packages with real concurrency (the virtual machine and the shared-memory
+# kernels). Run from the repo root; exits nonzero on the first failure.
+set -eux
+
+go vet ./...
+go build ./...
+go test ./...
+go test -race ./internal/machine ./internal/core ./internal/xblas
