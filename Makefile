@@ -1,8 +1,9 @@
 GO ?= go
+SERVE_ADDR ?= 127.0.0.1:7071
 
-.PHONY: check build test race bench-kernels
+.PHONY: check build test race bench-kernels serve loadtest
 
-check: ## vet + build + tests + race detector (CI gate)
+check: ## gofmt + vet + build + tests + race detector (CI gate)
 	sh scripts/check.sh
 
 build:
@@ -12,7 +13,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/machine ./internal/core ./internal/xblas
+	$(GO) test -race ./internal/machine ./internal/core ./internal/xblas ./internal/server ./client
 
 bench-kernels: ## regenerate the tracked kernel benchmark report
 	$(GO) run ./cmd/sstar-bench -experiment kernels -out BENCH_kernels.json
+
+serve: ## run the sparse-solve service on $(SERVE_ADDR)
+	$(GO) run ./cmd/sstar-serve -tcp $(SERVE_ADDR)
+
+loadtest: ## regenerate the tracked service benchmark report (in-process server)
+	$(GO) run ./cmd/sstar-load -clients 8 -duration 5s -patterns 2 -check -out BENCH_service.json

@@ -1,0 +1,251 @@
+// Package client is the Go client of the sstar solver service (cmd/sstar-serve):
+// a thin, connection-reusing wrapper around the service's length-prefixed
+// binary protocol on TCP or Unix sockets.
+//
+// A Client is safe for concurrent use; independent requests run over
+// independent pooled connections. The typical flow mirrors the library API:
+//
+//	c, _ := client.Dial("tcp", "127.0.0.1:7071")
+//	h, st, _ := c.Factorize(a, sstar.DefaultOptions())   // st.CacheHit when the server knew the pattern
+//	x, _, _ := h.Solve(b)
+//	_, _ = h.Refactorize(newValues)                      // values-only fast path, same pattern
+//	h.Free()
+//	c.Close()
+package client
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"sstar"
+	"sstar/internal/server"
+	"sstar/internal/wire"
+)
+
+// RequestStats is the server's per-request cost split (queue wait,
+// analyze/factor/solve nanoseconds, analysis-cache hit flag).
+type RequestStats = server.RequestStats
+
+// ServerStats is a snapshot of the server's counters.
+type ServerStats = server.ServerStats
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithMaxIdle caps the pooled idle connections (default 4).
+func WithMaxIdle(n int) Option { return func(c *Client) { c.maxIdle = n } }
+
+// WithDialTimeout bounds each dial (default 5s).
+func WithDialTimeout(d time.Duration) Option { return func(c *Client) { c.dialTimeout = d } }
+
+// WithMaxFrame caps an incoming response frame (default wire.DefaultMaxPayload).
+func WithMaxFrame(n int) Option { return func(c *Client) { c.maxFrame = n } }
+
+// Client is a connection-pooling client of one solver service.
+type Client struct {
+	network, addr string
+	maxIdle       int
+	maxFrame      int
+	dialTimeout   time.Duration
+
+	mu     sync.Mutex
+	idle   []net.Conn
+	closed bool
+}
+
+// Dial returns a client for the service at addr ("tcp", "host:port" or
+// "unix", "/path/to.sock"). The first connection is established and
+// handshaked eagerly so a wrong address or incompatible server fails here,
+// not on the first request.
+func Dial(network, addr string, opts ...Option) (*Client, error) {
+	c := &Client{
+		network:     network,
+		addr:        addr,
+		maxIdle:     4,
+		maxFrame:    wire.DefaultMaxPayload,
+		dialTimeout: 5 * time.Second,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	conn, err := c.dial()
+	if err != nil {
+		return nil, err
+	}
+	c.put(conn)
+	return c, nil
+}
+
+// dial opens and handshakes a fresh connection.
+func (c *Client) dial() (net.Conn, error) {
+	conn, err := net.DialTimeout(c.network, c.addr, c.dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s %s: %w", c.network, c.addr, err)
+	}
+	if err := wire.WriteGob(conn, server.FrameHello, server.Hello{Magic: server.ProtoMagic, Version: server.ProtoVersion}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	var hello server.Hello
+	if err := wire.ReadGob(conn, server.FrameHello, 1<<16, &hello); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("client: handshake: %w", err)
+	}
+	if hello.Magic != server.ProtoMagic || hello.Version != server.ProtoVersion {
+		conn.Close()
+		return nil, fmt.Errorf("client: server speaks %q v%d, want %q v%d", hello.Magic, hello.Version, server.ProtoMagic, server.ProtoVersion)
+	}
+	return conn, nil
+}
+
+// get pops an idle connection or dials a new one.
+func (c *Client) get() (net.Conn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("client: closed")
+	}
+	if n := len(c.idle); n > 0 {
+		conn := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return conn, nil
+	}
+	c.mu.Unlock()
+	return c.dial()
+}
+
+// put returns a healthy connection to the pool (or closes it beyond maxIdle).
+func (c *Client) put(conn net.Conn) {
+	c.mu.Lock()
+	if !c.closed && len(c.idle) < c.maxIdle {
+		c.idle = append(c.idle, conn)
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	conn.Close()
+}
+
+// Close releases every pooled connection. In-flight requests on checked-out
+// connections finish; their connections are then closed on return.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	idle := c.idle
+	c.idle = nil
+	c.mu.Unlock()
+	for _, conn := range idle {
+		conn.Close()
+	}
+	return nil
+}
+
+// roundTrip sends one request and reads one response over a pooled
+// connection. Any transport error poisons the connection (it is dropped,
+// not pooled); a fresh request will dial anew.
+func (c *Client) roundTrip(req *server.Request) (*server.Response, error) {
+	conn, err := c.get()
+	if err != nil {
+		return nil, err
+	}
+	if err := wire.WriteGob(conn, server.FrameRequest, req); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("client: send: %w", err)
+	}
+	resp := new(server.Response)
+	if err := wire.ReadGob(conn, server.FrameResponse, c.maxFrame, resp); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("client: receive: %w", err)
+	}
+	c.put(conn)
+	if resp.Err != "" {
+		return resp, fmt.Errorf("%s", resp.Err)
+	}
+	return resp, nil
+}
+
+// Ping checks liveness end to end.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(&server.Request{Op: server.OpPing})
+	return err
+}
+
+// Stats fetches a snapshot of the server's counters.
+func (c *Client) Stats() (ServerStats, error) {
+	resp, err := c.roundTrip(&server.Request{Op: server.OpStats})
+	if err != nil {
+		return ServerStats{}, err
+	}
+	return resp.Server, nil
+}
+
+// Handle is a live factorization on the server.
+type Handle struct {
+	c   *Client
+	id  uint64
+	n   int
+	nnz int
+}
+
+// Factorize submits a for analysis + factorization and returns a handle to
+// the server-side factors. The analysis is served from the server's
+// structure-keyed cache when a matrix with this pattern (and options) has
+// been seen before — stats.CacheHit reports which way it went.
+func (c *Client) Factorize(a *sstar.Matrix, o sstar.Options) (*Handle, RequestStats, error) {
+	resp, err := c.roundTrip(&server.Request{Op: server.OpFactorize, Matrix: a, Opts: o})
+	if err != nil {
+		return nil, RequestStats{}, err
+	}
+	return &Handle{c: c, id: resp.Handle, n: resp.N, nnz: resp.Nnz}, resp.Stats, nil
+}
+
+// ID returns the server-side handle id.
+func (h *Handle) ID() uint64 { return h.id }
+
+// N returns the matrix order.
+func (h *Handle) N() int { return h.n }
+
+// Nnz returns the pattern's nonzero count — the required length of a
+// Refactorize values slice.
+func (h *Handle) Nnz() int { return h.nnz }
+
+// Solve solves A x = b with the handle's current factors.
+func (h *Handle) Solve(b []float64) ([]float64, RequestStats, error) {
+	resp, err := h.c.roundTrip(&server.Request{Op: server.OpSolve, Handle: h.id, B: b})
+	if err != nil {
+		return nil, RequestStats{}, err
+	}
+	return resp.X, resp.Stats, nil
+}
+
+// Refactorize replaces the handle's factors with a factorization of the same
+// pattern carrying new values — the fast path: no structure is re-sent, no
+// analysis is re-run. values must list the new entries in the same CSR order
+// as the originally submitted matrix (length Nnz).
+func (h *Handle) Refactorize(values []float64) (RequestStats, error) {
+	resp, err := h.c.roundTrip(&server.Request{Op: server.OpRefactorize, Handle: h.id, Values: values})
+	if err != nil {
+		return RequestStats{}, err
+	}
+	return resp.Stats, nil
+}
+
+// RefactorizeMatrix is the full-matrix form of Refactorize for callers that
+// hold a CSR anyway; the server rejects a pattern differing from the
+// handle's.
+func (h *Handle) RefactorizeMatrix(a *sstar.Matrix) (RequestStats, error) {
+	resp, err := h.c.roundTrip(&server.Request{Op: server.OpRefactorize, Handle: h.id, Matrix: a})
+	if err != nil {
+		return RequestStats{}, err
+	}
+	return resp.Stats, nil
+}
+
+// Free releases the server-side factorization.
+func (h *Handle) Free() error {
+	_, err := h.c.roundTrip(&server.Request{Op: server.OpFree, Handle: h.id})
+	return err
+}

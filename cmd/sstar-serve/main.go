@@ -1,0 +1,84 @@
+// Command sstar-serve runs the sparse-solve service: a long-running server
+// that factorizes and solves client-submitted systems over the sstar binary
+// protocol, with a structure-keyed analysis cache and a values-only
+// refactorize fast path (see DESIGN.md, "Solver service").
+//
+// Usage:
+//
+//	sstar-serve -tcp :7071                        # serve TCP
+//	sstar-serve -unix /tmp/sstar.sock             # serve a Unix socket
+//	sstar-serve -tcp :7071 -unix /tmp/sstar.sock  # both at once
+//	sstar-serve -tcp :7071 -workers 8 -cache 128  # bigger pool and cache
+//
+// The server runs until SIGINT/SIGTERM, then shuts down cleanly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"sstar/internal/server"
+)
+
+func main() {
+	var (
+		tcpAddr  = flag.String("tcp", "", "TCP listen address (e.g. :7071); empty disables")
+		unixPath = flag.String("unix", "", "Unix socket path; empty disables")
+		workers  = flag.Int("workers", 4, "concurrent factorize/solve workers")
+		cache    = flag.Int("cache", 64, "analysis cache capacity (structures)")
+		quiet    = flag.Bool("quiet", false, "suppress per-event logging")
+	)
+	flag.Parse()
+	if *tcpAddr == "" && *unixPath == "" {
+		fmt.Fprintln(os.Stderr, "sstar-serve: need -tcp and/or -unix")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := server.Config{Workers: *workers, CacheEntries: *cache}
+	if !*quiet {
+		cfg.Logf = log.Printf
+	}
+	s := server.New(cfg)
+
+	errc := make(chan error, 2)
+	serve := func(network, addr string) {
+		l, err := net.Listen(network, addr)
+		if err != nil {
+			errc <- err
+			return
+		}
+		log.Printf("sstar-serve: listening on %s %s (workers=%d cache=%d)", network, addr, *workers, *cache)
+		errc <- s.Serve(l)
+	}
+	if *tcpAddr != "" {
+		go serve("tcp", *tcpAddr)
+	}
+	if *unixPath != "" {
+		os.Remove(*unixPath) // a stale socket from a previous run
+		go serve("unix", *unixPath)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil {
+			log.Fatalf("sstar-serve: %v", err)
+		}
+	case got := <-sig:
+		log.Printf("sstar-serve: %v, shutting down", got)
+	}
+	s.Close()
+	if *unixPath != "" {
+		os.Remove(*unixPath)
+	}
+	st := s.Stats()
+	log.Printf("sstar-serve: served %d requests (%d errors), cache %d/%d hit/miss (%.0f%%), %d live handles",
+		st.Requests, st.Errors, st.CacheHits, st.CacheMisses, 100*st.HitRate(), st.Handles)
+}

@@ -19,6 +19,9 @@ func (f *Factorization) SolveTranspose(b []float64) ([]float64, error) {
 // SolveMany solves A X = B for nrhs right-hand sides stored column-major in b
 // (b[j*n:(j+1)*n] holds column j).
 func (f *Factorization) SolveMany(b []float64, nrhs int) ([]float64, error) {
+	if nrhs < 1 {
+		return nil, fmt.Errorf("sstar: SolveMany needs nrhs >= 1, got %d", nrhs)
+	}
 	return f.fact.SolveMany(b, nrhs)
 }
 

@@ -1,0 +1,103 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"sstar"
+)
+
+// analysisCache is the structure-keyed LRU cache of analyze-phase results.
+//
+// Soundness: the analyze phase (maximum transversal, minimum degree on AᵀA,
+// George–Ng static symbolic factorization, supernode partition) is a pure
+// function of the nonzero pattern and the analysis options — it never reads
+// a value. And by the paper's pivot-independence property the static
+// structure bounds the fill of every partial-pivoting interchange sequence,
+// so a cached analysis is valid for *any* values carried by a matching
+// pattern. The key is the 64-bit sstar.StructureKey (pattern ⊕ options
+// hash); a hit additionally verifies the pattern and options exactly, so a
+// hash collision degrades to a miss instead of a wrong answer.
+//
+// A cached *sstar.Analysis is immutable and safe to share across concurrent
+// factorizations, so entries are handed out without copying.
+type analysisCache struct {
+	mu        sync.Mutex
+	cap       int
+	ll        *list.List                 // front = most recently used
+	m         map[uint64][]*list.Element // key -> entries (collision-tolerant)
+	hit, miss int64
+}
+
+type cacheEntry struct {
+	key  uint64
+	opts sstar.Options
+	an   *sstar.Analysis
+}
+
+func newAnalysisCache(capacity int) *analysisCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &analysisCache{cap: capacity, ll: list.New(), m: make(map[uint64][]*list.Element)}
+}
+
+// get returns the cached analysis for (pattern of a, opts), or nil on a
+// miss. The caller supplies the precomputed key to avoid hashing twice.
+func (c *analysisCache) get(key uint64, a *sstar.Matrix, opts sstar.Options) *sstar.Analysis {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, el := range c.m[key] {
+		e := el.Value.(*cacheEntry)
+		if e.opts == opts && e.an.Matches(a) {
+			c.ll.MoveToFront(el)
+			c.hit++
+			return e.an
+		}
+	}
+	c.miss++
+	return nil
+}
+
+// add inserts an analysis under key, evicting least-recently-used entries
+// beyond capacity. A racing duplicate (two misses analyzing the same
+// structure concurrently) is tolerated: both are inserted, both are valid,
+// and LRU eviction reclaims the spare.
+func (c *analysisCache) add(key uint64, an *sstar.Analysis) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el := c.ll.PushFront(&cacheEntry{key: key, opts: an.Options(), an: an})
+	c.m[key] = append(c.m[key], el)
+	for c.ll.Len() > c.cap {
+		c.evictOldest()
+	}
+}
+
+// evictOldest removes the LRU entry. Caller holds c.mu.
+func (c *analysisCache) evictOldest() {
+	el := c.ll.Back()
+	if el == nil {
+		return
+	}
+	c.ll.Remove(el)
+	e := el.Value.(*cacheEntry)
+	els := c.m[e.key]
+	for i, cand := range els {
+		if cand == el {
+			els = append(els[:i], els[i+1:]...)
+			break
+		}
+	}
+	if len(els) == 0 {
+		delete(c.m, e.key)
+	} else {
+		c.m[e.key] = els
+	}
+}
+
+// counters returns (hits, misses, live entries).
+func (c *analysisCache) counters() (hit, miss int64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hit, c.miss, c.ll.Len()
+}

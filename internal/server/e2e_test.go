@@ -1,0 +1,271 @@
+package server_test
+
+import (
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"sstar"
+	"sstar/client"
+	"sstar/internal/server"
+	"sstar/internal/wire"
+)
+
+// startServer runs a server on a loopback TCP listener and returns its
+// address.
+func startServer(t *testing.T, cfg server.Config) string {
+	t.Helper()
+	s := server.New(cfg)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(l)
+	t.Cleanup(func() { s.Close() })
+	return l.Addr().String()
+}
+
+// TestEndToEndConcurrentClients is the acceptance scenario: 8 concurrent
+// clients submit matrices drawn from 2 distinct patterns; every solve meets
+// the repo residual bound, second-and-later factorizations of each pattern
+// hit the analysis cache, and the values-only refactorize path beats a cold
+// factorize in this test's own timing.
+func TestEndToEndConcurrentClients(t *testing.T) {
+	addr := startServer(t, server.Config{Workers: 4, CacheEntries: 8})
+
+	patterns := []*sstar.Matrix{
+		sstar.GenGrid2D(14, 14, false, sstar.GenOptions{Seed: 100, Convection: 0.2}),
+		sstar.GenGrid2D(14, 14, true, sstar.GenOptions{Seed: 200}),
+	}
+
+	const nClients = 8
+	const roundsPerClient = 3
+	var wg sync.WaitGroup
+	errs := make(chan error, nClients*16)
+	fail := func(err error) { errs <- err }
+	for ci := 0; ci < nClients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			c, err := client.Dial("tcp", addr)
+			if err != nil {
+				fail(err)
+				return
+			}
+			defer c.Close()
+			rng := rand.New(rand.NewSource(int64(1000 + ci)))
+			base := patterns[ci%len(patterns)]
+			for round := 0; round < roundsPerClient; round++ {
+				m := base.Clone()
+				for i := range m.Val {
+					m.Val[i] *= 1 + 0.2*rng.Float64()
+				}
+				h, _, err := c.Factorize(m, sstar.DefaultOptions())
+				if err != nil {
+					fail(err)
+					return
+				}
+				b := make([]float64, m.N)
+				for i := range b {
+					b[i] = 2*rng.Float64() - 1
+				}
+				x, _, err := h.Solve(b)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if r := sstar.Residual(m, x, b); r > 1e-9 {
+					t.Errorf("client %d round %d: residual %g", ci, round, r)
+				}
+				// Values-only refactorize, then verify against the new matrix.
+				vals := append([]float64(nil), m.Val...)
+				for i := range vals {
+					vals[i] *= 1 + 0.1*rng.Float64()
+				}
+				if _, err := h.Refactorize(vals); err != nil {
+					fail(err)
+					return
+				}
+				m2 := m.Clone()
+				copy(m2.Val, vals)
+				x2, _, err := h.Solve(b)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if r := sstar.Residual(m2, x2, b); r > 1e-9 {
+					t.Errorf("client %d round %d: refactorized residual %g", ci, round, r)
+				}
+				if err := h.Free(); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}(ci)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	c, err := client.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 clients x 3 rounds = 24 factorizes over 2 structures: at most one
+	// miss per structure per racing first round; everything after must hit.
+	if st.CacheHits == 0 {
+		t.Fatalf("no cache hits across %d factorizes: %+v", st.Factorizes, st)
+	}
+	if st.HitRate() <= 0 {
+		t.Fatalf("hit rate %g, want > 0", st.HitRate())
+	}
+	if st.Factorizes != nClients*roundsPerClient {
+		t.Fatalf("factorize count %d, want %d", st.Factorizes, nClients*roundsPerClient)
+	}
+	if st.Errors != 0 {
+		t.Fatalf("server reported %d errored requests", st.Errors)
+	}
+	if st.Handles != 0 {
+		t.Fatalf("%d handles leaked", st.Handles)
+	}
+	t.Logf("server stats: %+v (hit rate %.2f)", st, st.HitRate())
+}
+
+// TestRefactorizeBeatsColdFactorize times both paths through the full
+// client/server stack: cold factorizations of never-seen structures vs
+// values-only refactorizations of a held handle.
+func TestRefactorizeBeatsColdFactorize(t *testing.T) {
+	addr := startServer(t, server.Config{Workers: 2, CacheEntries: 64})
+	c, err := client.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const reps = 5
+	cold := make([]time.Duration, 0, reps)
+	for j := 0; j < reps; j++ {
+		// A fresh structure every time: nx varies, so nothing is cached.
+		m := sstar.GenGrid2D(20+j, 20, false, sstar.GenOptions{Seed: int64(j), Convection: 0.1})
+		t0 := time.Now()
+		h, st, err := c.Factorize(m, sstar.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold = append(cold, time.Since(t0))
+		if st.CacheHit {
+			t.Fatal("cold factorize hit the cache")
+		}
+		if err := h.Free(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	m := sstar.GenGrid2D(20, 20, false, sstar.GenOptions{Seed: 99, Convection: 0.1})
+	h, _, err := c.Factorize(m, sstar.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Free()
+	refac := make([]time.Duration, 0, reps)
+	vals := append([]float64(nil), m.Val...)
+	for j := 0; j < reps; j++ {
+		for i := range vals {
+			vals[i] *= 1.01
+		}
+		t0 := time.Now()
+		if _, err := h.Refactorize(vals); err != nil {
+			t.Fatal(err)
+		}
+		refac = append(refac, time.Since(t0))
+	}
+
+	coldMed, refacMed := median(cold), median(refac)
+	t.Logf("cold factorize median %v, refactorize median %v (%.1fx)", coldMed, refacMed, float64(coldMed)/float64(refacMed))
+	if refacMed >= coldMed {
+		t.Fatalf("refactorize (%v) not faster than cold factorize (%v)", refacMed, coldMed)
+	}
+}
+
+func median(ds []time.Duration) time.Duration {
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
+}
+
+// TestCorruptFrameDropsOnlyThatConnection sends garbage on one connection
+// and proves the server survives to serve a healthy one.
+func TestCorruptFrameDropsOnlyThatConnection(t *testing.T) {
+	addr := startServer(t, server.Config{Workers: 1})
+
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	if err := wire.WriteGob(raw, server.FrameHello, server.Hello{Magic: server.ProtoMagic, Version: server.ProtoVersion}); err != nil {
+		t.Fatal(err)
+	}
+	var hello server.Hello
+	if err := wire.ReadGob(raw, server.FrameHello, 1<<16, &hello); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := raw.Write([]byte("\x02\xff\xff\xff\xffgarbage beyond any frame bound")); err != nil {
+		t.Fatal(err)
+	}
+	// The server must drop this connection (read returns EOF/error soon).
+	raw.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := raw.Read(buf); err == nil {
+		t.Fatal("server kept a connection after a corrupt frame")
+	}
+
+	// A fresh, well-behaved client is unaffected.
+	c, err := client.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWrongProtocolHello proves version/magic mismatches are rejected
+// in-band without killing the listener.
+func TestWrongProtocolHello(t *testing.T) {
+	addr := startServer(t, server.Config{Workers: 1})
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	if err := wire.WriteGob(raw, server.FrameHello, server.Hello{Magic: "not-sstar", Version: 0}); err != nil {
+		t.Fatal(err)
+	}
+	var resp server.Response
+	if err := wire.ReadGob(raw, server.FrameResponse, 1<<16, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err == "" {
+		t.Fatal("bad hello accepted")
+	}
+	c, err := client.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}

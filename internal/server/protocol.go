@@ -1,0 +1,149 @@
+// Package server implements the sparse-solve service: a long-running server
+// that factorizes and solves client-submitted systems over a length-prefixed
+// binary protocol (internal/wire frames carrying gob messages) on TCP or
+// Unix sockets.
+//
+// The serving model follows the paper's central property: the George–Ng
+// static symbolic analysis is valid for *any* pivot sequence, hence for any
+// values sharing a nonzero pattern. The server therefore keeps an LRU cache
+// of analyses keyed by structure hash — the canonical workload (many solves,
+// few patterns: time stepping, Newton iterations, parameter sweeps) pays for
+// ordering + symbolic factorization + partitioning once per pattern, and a
+// values-only Refactorize fast path skips even the pattern transfer.
+//
+// Protocol: after connecting, the client sends a Hello frame and the server
+// answers with its own. From then on the client sends Request frames and
+// reads one Response frame per request, in order. All payloads are gob.
+package server
+
+import (
+	"sstar"
+)
+
+// Protocol identification, exchanged in the Hello frame of each side.
+const (
+	ProtoMagic   = "sstar-rpc"
+	ProtoVersion = 1
+)
+
+// Frame type bytes of the service protocol.
+const (
+	FrameHello    byte = 0x01
+	FrameRequest  byte = 0x02
+	FrameResponse byte = 0x03
+)
+
+// Hello opens a connection in both directions.
+type Hello struct {
+	Magic   string
+	Version int
+}
+
+// Op selects the operation of a Request.
+type Op uint8
+
+// Operations of the service protocol.
+const (
+	OpPing        Op = 1 // liveness check, empty response
+	OpFactorize   Op = 2 // Matrix+Opts -> Handle (analysis served from cache when the structure is known)
+	OpRefactorize Op = 3 // Handle+Values (fast path) or Handle+Matrix -> new factors under the same handle
+	OpSolve       Op = 4 // Handle+B -> X
+	OpFree        Op = 5 // Handle -> release the factorization
+	OpStats       Op = 6 // -> ServerStats snapshot
+)
+
+// String names the operation for logs and reports.
+func (o Op) String() string {
+	switch o {
+	case OpPing:
+		return "ping"
+	case OpFactorize:
+		return "factorize"
+	case OpRefactorize:
+		return "refactorize"
+	case OpSolve:
+		return "solve"
+	case OpFree:
+		return "free"
+	case OpStats:
+		return "stats"
+	}
+	return "unknown"
+}
+
+// Request is the client-to-server message. Which fields are meaningful
+// depends on Op; unused fields stay zero and cost nothing on the wire.
+type Request struct {
+	Op Op
+
+	// OpFactorize: the matrix and analysis options. Also accepted by
+	// OpRefactorize as the full-matrix form.
+	Matrix *sstar.Matrix
+	Opts   sstar.Options
+
+	// OpRefactorize, OpSolve, OpFree: the target factorization.
+	Handle uint64
+
+	// OpRefactorize values-only fast path: new values for the handle's
+	// pattern, in the same CSR entry order as the originally submitted
+	// matrix. Ignored when Matrix is set.
+	Values []float64
+
+	// OpSolve: the right-hand side.
+	B []float64
+}
+
+// RequestStats is the per-request cost split the server reports with every
+// response: where the time went and whether the analysis cache served the
+// structure.
+type RequestStats struct {
+	// QueueNs is the time the request waited for a worker.
+	QueueNs int64
+	// AnalyzeNs is the analyze-phase time (≈0 on a cache hit, which only
+	// pays an exact pattern comparison).
+	AnalyzeNs int64
+	// FactorNs is the numeric factorization time.
+	FactorNs int64
+	// SolveNs is the triangular-solve time.
+	SolveNs int64
+	// CacheHit reports whether OpFactorize found the structure's analysis
+	// in the cache.
+	CacheHit bool
+}
+
+// ServerStats is a snapshot of the server's counters.
+type ServerStats struct {
+	Requests     int64 // requests processed (all ops)
+	Errors       int64 // requests answered with an error
+	Factorizes   int64
+	Refactorizes int64
+	Solves       int64
+	CacheHits    int64 // analysis cache hits (OpFactorize only)
+	CacheMisses  int64
+	CacheEntries int // live cached analyses
+	Handles      int // live factorization handles
+	Workers      int
+	QueueDepth   int // requests waiting for a worker at snapshot time
+}
+
+// HitRate returns the analysis-cache hit rate in [0,1], 0 when no factorize
+// request has been seen.
+func (s ServerStats) HitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+// Response is the server-to-client message. A non-empty Err means the
+// request failed; every other field is op-dependent.
+type Response struct {
+	Err    string
+	Handle uint64       // OpFactorize: the new handle
+	N      int          // OpFactorize: matrix order (client-side convenience)
+	Nnz    int          // OpFactorize: pattern nonzeros (= required Values length for the fast path)
+	X      []float64    // OpSolve: the solution
+	Stats  RequestStats // cost split of this request
+	Server ServerStats  // OpStats
+}

@@ -1,0 +1,399 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sstar"
+	"sstar/internal/wire"
+)
+
+// Config tunes a Server. The zero value picks sensible defaults.
+type Config struct {
+	// Workers bounds the number of requests factorizing/solving
+	// concurrently (default 4). Requests beyond it queue; the queue wait
+	// is reported per request.
+	Workers int
+	// QueueDepth is the buffered request backlog beyond the workers
+	// (default 8*Workers). A full queue applies backpressure to clients.
+	QueueDepth int
+	// CacheEntries caps the analysis LRU cache (default 64 structures).
+	CacheEntries int
+	// MaxFrame caps an incoming frame payload (default
+	// wire.DefaultMaxPayload); oversized or corrupt-length frames fail the
+	// connection, never the server.
+	MaxFrame int
+	// Logf, when set, receives one line per connection event and per
+	// failed request.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers < 1 {
+		c.Workers = 4
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 8 * c.Workers
+	}
+	if c.CacheEntries < 1 {
+		c.CacheEntries = 64
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = wire.DefaultMaxPayload
+	}
+	return c
+}
+
+// handle is a live factorization owned by the registry. The RWMutex
+// serializes refactorizations (which swap the numeric factors) against
+// concurrent solves on the same handle.
+type handle struct {
+	mu     sync.RWMutex
+	f      *sstar.Factorization
+	n      int
+	rowPtr []int // pattern of the originally submitted matrix, kept for
+	colInd []int // the values-only refactorize fast path
+}
+
+// job is one queued request.
+type job struct {
+	req      *Request
+	enqueued time.Time
+	done     chan *Response
+}
+
+// Server is the sparse-solve service. Create with New, attach listeners
+// with Serve (one goroutine per listener), stop with Close.
+type Server struct {
+	cfg   Config
+	cache *analysisCache
+	jobs  chan *job
+	quit  chan struct{}
+	wg    sync.WaitGroup
+
+	mu         sync.Mutex
+	handles    map[uint64]*handle
+	nextHandle uint64
+	listeners  map[net.Listener]struct{}
+	conns      map[net.Conn]struct{}
+	closed     bool
+
+	requests     atomic.Int64
+	errors       atomic.Int64
+	factorizes   atomic.Int64
+	refactorizes atomic.Int64
+	solves       atomic.Int64
+}
+
+// New returns a running server (workers started, no listeners yet).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:       cfg,
+		cache:     newAnalysisCache(cfg.CacheEntries),
+		jobs:      make(chan *job, cfg.QueueDepth),
+		quit:      make(chan struct{}),
+		handles:   make(map[uint64]*handle),
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Serve accepts connections on l until the listener fails or the server is
+// closed. It blocks; run it in a goroutine per listener (the server speaks
+// the same protocol on every listener, TCP and Unix alike).
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return fmt.Errorf("server: closed")
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-s.quit:
+				return nil
+			default:
+				return err
+			}
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+// Close stops the server: listeners and connections are closed, workers are
+// stopped, queued requests are dropped.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.quit)
+	for l := range s.listeners {
+		l.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// handleConn speaks the protocol on one connection: Hello exchange, then a
+// request/response loop. Protocol errors (bad magic, corrupt frames) drop
+// the connection; request-level errors are answered in-band and the
+// connection lives on — the server never dies on bad input.
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	var hello Hello
+	if err := wire.ReadGob(conn, FrameHello, 1<<16, &hello); err != nil {
+		s.logf("server: %s: hello: %v", conn.RemoteAddr(), err)
+		return
+	}
+	if hello.Magic != ProtoMagic || hello.Version != ProtoVersion {
+		s.logf("server: %s: bad hello %+v", conn.RemoteAddr(), hello)
+		wire.WriteGob(conn, FrameResponse, &Response{Err: fmt.Sprintf("server: unsupported protocol %q v%d", hello.Magic, hello.Version)})
+		return
+	}
+	if err := wire.WriteGob(conn, FrameHello, Hello{Magic: ProtoMagic, Version: ProtoVersion}); err != nil {
+		return
+	}
+	for {
+		req := new(Request)
+		if err := wire.ReadGob(conn, FrameRequest, s.cfg.MaxFrame, req); err != nil {
+			// io.EOF here is the clean "client hung up" path.
+			return
+		}
+		resp := s.submit(req)
+		if err := wire.WriteGob(conn, FrameResponse, resp); err != nil {
+			return
+		}
+	}
+}
+
+// submit queues the request on the worker pool and waits for its response.
+func (s *Server) submit(req *Request) *Response {
+	j := &job{req: req, enqueued: time.Now(), done: make(chan *Response, 1)}
+	select {
+	case s.jobs <- j:
+	case <-s.quit:
+		return &Response{Err: "server: shutting down"}
+	}
+	select {
+	case resp := <-j.done:
+		return resp
+	case <-s.quit:
+		return &Response{Err: "server: shutting down"}
+	}
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case j := <-s.jobs:
+			queueNs := time.Since(j.enqueued).Nanoseconds()
+			resp := s.process(j.req)
+			resp.Stats.QueueNs = queueNs
+			s.requests.Add(1)
+			if resp.Err != "" {
+				s.errors.Add(1)
+				s.logf("server: %s failed: %s", j.req.Op, resp.Err)
+			}
+			j.done <- resp
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// process executes one request. A panic anywhere below (a malformed matrix
+// slipping past validation, a bug in a kernel) is converted into an error
+// response: one request may fail, the service keeps serving.
+func (s *Server) process(req *Request) (resp *Response) {
+	defer func() {
+		if p := recover(); p != nil {
+			resp = &Response{Err: fmt.Sprintf("server: internal panic: %v", p)}
+			s.logf("server: panic in %s: %v\n%s", req.Op, p, debug.Stack())
+		}
+	}()
+	switch req.Op {
+	case OpPing:
+		return &Response{}
+	case OpFactorize:
+		return s.doFactorize(req)
+	case OpRefactorize:
+		return s.doRefactorize(req)
+	case OpSolve:
+		return s.doSolve(req)
+	case OpFree:
+		return s.doFree(req)
+	case OpStats:
+		return &Response{Server: s.Stats()}
+	}
+	return &Response{Err: fmt.Sprintf("server: unknown op %d", req.Op)}
+}
+
+func (s *Server) doFactorize(req *Request) *Response {
+	s.factorizes.Add(1)
+	a := req.Matrix
+	if a == nil {
+		return &Response{Err: "server: factorize needs a matrix"}
+	}
+	var stats RequestStats
+	key := sstar.StructureKey(a, req.Opts)
+	t0 := time.Now()
+	an := s.cache.get(key, a, req.Opts)
+	if an != nil {
+		stats.CacheHit = true
+	} else {
+		var err error
+		an, err = sstar.Analyze(a, req.Opts)
+		if err != nil {
+			return &Response{Err: err.Error()}
+		}
+		s.cache.add(key, an)
+	}
+	stats.AnalyzeNs = time.Since(t0).Nanoseconds()
+	t1 := time.Now()
+	f, err := an.FactorizeWith(a)
+	if err != nil {
+		return &Response{Err: err.Error()}
+	}
+	stats.FactorNs = time.Since(t1).Nanoseconds()
+	h := &handle{
+		f:      f,
+		n:      a.N,
+		rowPtr: append([]int(nil), a.RowPtr...),
+		colInd: append([]int(nil), a.ColInd...),
+	}
+	s.mu.Lock()
+	s.nextHandle++
+	id := s.nextHandle
+	s.handles[id] = h
+	s.mu.Unlock()
+	return &Response{Handle: id, N: a.N, Nnz: len(h.colInd), Stats: stats}
+}
+
+func (s *Server) lookup(id uint64) (*handle, *Response) {
+	s.mu.Lock()
+	h := s.handles[id]
+	s.mu.Unlock()
+	if h == nil {
+		return nil, &Response{Err: fmt.Sprintf("server: unknown handle %d", id)}
+	}
+	return h, nil
+}
+
+func (s *Server) doRefactorize(req *Request) *Response {
+	s.refactorizes.Add(1)
+	h, errResp := s.lookup(req.Handle)
+	if errResp != nil {
+		return errResp
+	}
+	m := req.Matrix
+	if m == nil {
+		// Values-only fast path: rebuild the matrix on the stored pattern.
+		if len(req.Values) != len(h.colInd) {
+			return &Response{Err: fmt.Sprintf("server: refactorize values length %d, pattern has %d nonzeros", len(req.Values), len(h.colInd))}
+		}
+		m = &sstar.Matrix{N: h.n, M: h.n, RowPtr: h.rowPtr, ColInd: h.colInd, Val: req.Values}
+	}
+	var stats RequestStats
+	t0 := time.Now()
+	h.mu.Lock()
+	err := h.f.Refactorize(m)
+	h.mu.Unlock()
+	stats.FactorNs = time.Since(t0).Nanoseconds()
+	if err != nil {
+		return &Response{Err: err.Error()}
+	}
+	return &Response{Handle: req.Handle, N: h.n, Nnz: len(h.colInd), Stats: stats}
+}
+
+func (s *Server) doSolve(req *Request) *Response {
+	s.solves.Add(1)
+	h, errResp := s.lookup(req.Handle)
+	if errResp != nil {
+		return errResp
+	}
+	var stats RequestStats
+	t0 := time.Now()
+	h.mu.RLock()
+	x, err := h.f.Solve(req.B)
+	h.mu.RUnlock()
+	stats.SolveNs = time.Since(t0).Nanoseconds()
+	if err != nil {
+		return &Response{Err: err.Error()}
+	}
+	return &Response{Handle: req.Handle, X: x, Stats: stats}
+}
+
+func (s *Server) doFree(req *Request) *Response {
+	s.mu.Lock()
+	_, ok := s.handles[req.Handle]
+	delete(s.handles, req.Handle)
+	s.mu.Unlock()
+	if !ok {
+		return &Response{Err: fmt.Sprintf("server: unknown handle %d", req.Handle)}
+	}
+	return &Response{}
+}
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() ServerStats {
+	hit, miss, entries := s.cache.counters()
+	s.mu.Lock()
+	nHandles := len(s.handles)
+	s.mu.Unlock()
+	return ServerStats{
+		Requests:     s.requests.Load(),
+		Errors:       s.errors.Load(),
+		Factorizes:   s.factorizes.Load(),
+		Refactorizes: s.refactorizes.Load(),
+		Solves:       s.solves.Load(),
+		CacheHits:    hit,
+		CacheMisses:  miss,
+		CacheEntries: entries,
+		Handles:      nHandles,
+		Workers:      s.cfg.Workers,
+		QueueDepth:   len(s.jobs),
+	}
+}

@@ -25,6 +25,25 @@ func PatternOf(a *CSR) *Pattern {
 	}
 }
 
+// EqualCSR reports whether a has exactly the nonzero structure p (same
+// dimension, same row pointers, same column indices).
+func (p *Pattern) EqualCSR(a *CSR) bool {
+	if a == nil || p.N != a.N || p.N != a.M || len(p.Ind) != len(a.ColInd) {
+		return false
+	}
+	for i, v := range p.Ptr {
+		if a.RowPtr[i] != v {
+			return false
+		}
+	}
+	for k, v := range p.Ind {
+		if a.ColInd[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
 // ATAPattern returns the structure of A^T·A for a square or rectangular A.
 // Entry (i, j) of A^T A is structurally nonzero when some row k of A has
 // entries in both columns i and j. The result is M-by-M and symmetric.

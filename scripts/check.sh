@@ -1,10 +1,18 @@
 #!/bin/sh
-# Repo-wide checks: vet, build, full tests, then the race detector over the
-# packages with real concurrency (the virtual machine and the shared-memory
-# kernels). Run from the repo root; exits nonzero on the first failure.
+# Repo-wide checks: formatting, vet, build, full tests, then the race
+# detector over the packages with real concurrency (the virtual machine, the
+# shared-memory kernels, and the solver service with its client). Run from
+# the repo root; exits nonzero on the first failure.
 set -eux
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/machine ./internal/core ./internal/xblas
+go test -race ./internal/machine ./internal/core ./internal/xblas ./internal/server ./client

@@ -1,43 +1,71 @@
 package sstar
 
 import (
-	"encoding/gob"
 	"fmt"
 	"io"
 
 	"sstar/internal/core"
+	"sstar/internal/wire"
 )
+
+// The on-disk format is a sequence of internal/wire frames (length-prefixed,
+// CRC-32-checked gob payloads): one header frame identifying the format,
+// then one section frame per component. The checksums make Load fail
+// cleanly — never panic, never return silently corrupt factors — on any
+// truncated or bit-flipped stream.
+const (
+	serialMagic   = "sstar-lu"
+	serialVersion = 2 // v2: wire-framed with checksums + pattern fingerprint trailer
+
+	frameHeader  byte = 0x48 // 'H'
+	frameSection byte = 0x53 // 'S'
+)
+
+type serialHeader struct {
+	Magic   string
+	Version int
+}
+
+// serialTrailer carries the pattern fingerprint so a loaded factorization
+// keeps rejecting mismatched-pattern Refactorize calls.
+type serialTrailer struct {
+	PatHash uint64
+	PatNnz  int
+}
 
 // Save writes the complete factorization (symbolic analysis, numeric factors
 // and pivot sequence) to w in a self-contained binary format, so an expensive
 // factorization can be computed once and reused across processes.
 func (f *Factorization) Save(w io.Writer) error {
-	enc := gob.NewEncoder(w)
-	if err := enc.Encode(serialHeader{Magic: serialMagic, Version: serialVersion}); err != nil {
+	if err := wire.WriteGob(w, frameHeader, serialHeader{Magic: serialMagic, Version: serialVersion}); err != nil {
 		return fmt.Errorf("sstar: save header: %w", err)
 	}
-	if err := enc.Encode(f.sym); err != nil {
-		return fmt.Errorf("sstar: save symbolic: %w", err)
+	sections := []struct {
+		name string
+		v    any
+	}{
+		{"symbolic", f.sym},
+		{"factors", f.fact.BM},
+		{"pivots", f.fact.Piv},
+		{"flop counts", f.fact.Fl},
+		{"trailer", serialTrailer{PatHash: f.patHash, PatNnz: f.patNnz}},
 	}
-	if err := enc.Encode(f.fact.BM); err != nil {
-		return fmt.Errorf("sstar: save factors: %w", err)
-	}
-	if err := enc.Encode(f.fact.Piv); err != nil {
-		return fmt.Errorf("sstar: save pivots: %w", err)
-	}
-	if err := enc.Encode(f.fact.Fl); err != nil {
-		return fmt.Errorf("sstar: save flop counts: %w", err)
+	for _, s := range sections {
+		if err := wire.WriteGob(w, frameSection, s.v); err != nil {
+			return fmt.Errorf("sstar: save %s: %w", s.name, err)
+		}
 	}
 	return nil
 }
 
 // Load reads a factorization previously written by Save. The result supports
 // every solve variant (Solve, SolveTranspose, SolveMany, Refine, ...) and
-// Refactorize with same-pattern matrices.
+// Refactorize with same-pattern matrices. Corrupt input of any kind —
+// truncation, flipped bits, wrong format — returns an error; Load never
+// panics.
 func Load(r io.Reader) (*Factorization, error) {
-	dec := gob.NewDecoder(r)
 	var h serialHeader
-	if err := dec.Decode(&h); err != nil {
+	if err := wire.ReadGob(r, frameHeader, 1<<16, &h); err != nil {
 		return nil, fmt.Errorf("sstar: load header: %w", err)
 	}
 	if h.Magic != serialMagic {
@@ -48,28 +76,25 @@ func Load(r io.Reader) (*Factorization, error) {
 	}
 	fact := &core.Factorization{}
 	var sym core.Symbolic
-	if err := dec.Decode(&sym); err != nil {
-		return nil, fmt.Errorf("sstar: load symbolic: %w", err)
+	var tr serialTrailer
+	sections := []struct {
+		name string
+		v    any
+	}{
+		{"symbolic", &sym},
+		{"factors", &fact.BM},
+		{"pivots", &fact.Piv},
+		{"flop counts", &fact.Fl},
+		{"trailer", &tr},
 	}
-	if err := dec.Decode(&fact.BM); err != nil {
-		return nil, fmt.Errorf("sstar: load factors: %w", err)
+	for _, s := range sections {
+		if err := wire.ReadGob(r, frameSection, 0, s.v); err != nil {
+			return nil, fmt.Errorf("sstar: load %s: %w", s.name, err)
+		}
 	}
-	if err := dec.Decode(&fact.Piv); err != nil {
-		return nil, fmt.Errorf("sstar: load pivots: %w", err)
-	}
-	if err := dec.Decode(&fact.Fl); err != nil {
-		return nil, fmt.Errorf("sstar: load flop counts: %w", err)
+	if sym.N <= 0 || sym.Partition == nil || sym.Static == nil || fact.BM == nil {
+		return nil, fmt.Errorf("sstar: factorization stream is incomplete")
 	}
 	fact.Sym = &sym
-	return &Factorization{sym: &sym, fact: fact}, nil
-}
-
-const (
-	serialMagic   = "sstar-lu"
-	serialVersion = 1
-)
-
-type serialHeader struct {
-	Magic   string
-	Version int
+	return &Factorization{sym: &sym, fact: fact, patHash: tr.PatHash, patNnz: tr.PatNnz}, nil
 }

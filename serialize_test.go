@@ -2,6 +2,7 @@ package sstar
 
 import (
 	"bytes"
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -55,6 +56,68 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	for i := range x3 {
 		if math.Abs(2*x3[i]-x1[i]) > 1e-8*(1+math.Abs(x1[i])) {
 			t.Fatalf("scaled refactorization inconsistent at %d", i)
+		}
+	}
+}
+
+func TestLoadedFactorizationKeepsPatternCheck(t *testing.T) {
+	a := GenGrid2D(8, 8, false, GenOptions{Seed: 31})
+	f, err := Factorize(a, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A different-structure matrix of the same order must still be rejected
+	// after the round trip: the pattern fingerprint travels with the stream.
+	if err := g.Refactorize(GenGrid2D(8, 8, true, GenOptions{Seed: 31})); err == nil {
+		t.Fatal("loaded factorization accepted a different pattern")
+	}
+}
+
+// TestLoadNeverPanicsOnCorruption is the corruption fuzz of the wire format:
+// truncate the stream at every length and flip bits across the stream; Load
+// must return an error every time and may never panic or succeed.
+func TestLoadNeverPanicsOnCorruption(t *testing.T) {
+	a := GenGrid2D(6, 6, false, GenOptions{Seed: 32})
+	f, err := Factorize(a, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	load := func(what string, data []byte) {
+		t.Helper()
+		defer func() {
+			if p := recover(); p != nil {
+				t.Fatalf("Load panicked on %s: %v", what, p)
+			}
+		}()
+		if _, err := Load(bytes.NewReader(data)); err == nil {
+			t.Fatalf("Load accepted %s", what)
+		}
+	}
+	// Every truncation point (stride keeps the test fast on big streams).
+	stride := len(full)/512 + 1
+	for cut := 0; cut < len(full); cut += stride {
+		load(fmt.Sprintf("truncation at %d/%d", cut, len(full)), full[:cut])
+	}
+	// Single-bit flips across the stream: the per-frame CRC must catch all
+	// of them (a flip in a length field trips the checksum or size bound).
+	for pos := 0; pos < len(full); pos += stride {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), full...)
+			mut[pos] ^= 1 << bit
+			load(fmt.Sprintf("bit flip at byte %d bit %d", pos, bit), mut)
 		}
 	}
 }

@@ -22,6 +22,7 @@ package sstar
 
 import (
 	"fmt"
+	"math"
 
 	"sstar/internal/core"
 	"sstar/internal/machine"
@@ -90,6 +91,13 @@ type Factorization struct {
 	sym  *core.Symbolic
 	fact *core.Factorization
 
+	// Pattern fingerprint of the factorized matrix (structure hash and
+	// nonzero count), kept so Refactorize can reject a matrix with a
+	// different pattern instead of corrupting or panicking deep in the
+	// numeric phase. Survives Save/Load.
+	patHash uint64
+	patNnz  int
+
 	// Distribution of a parallel run, kept for SolveDistributed.
 	parOwner []int
 	parProcs int
@@ -128,25 +136,31 @@ func validate(a *Matrix, o Options) error {
 	return nil
 }
 
-// Factorize analyzes and numerically factorizes a.
+// Factorize analyzes and numerically factorizes a. It is equivalent to
+// Analyze followed by FactorizeWith; callers that factorize many matrices
+// with one pattern should hold the Analysis and call FactorizeWith directly.
 func Factorize(a *Matrix, o Options) (*Factorization, error) {
-	if err := validate(a, o); err != nil {
-		return nil, err
-	}
-	sym := o.analyze(a)
-	fact, err := core.FactorizeSeq(a, sym)
+	an, err := Analyze(a, o)
 	if err != nil {
 		return nil, err
 	}
-	return &Factorization{sym: sym, fact: fact}, nil
+	return an.FactorizeWith(a)
 }
 
 // Refactorize reuses the symbolic analysis to factorize a matrix with the
 // same nonzero pattern but new values — the cheap path for time-stepping
-// applications that repeatedly solve evolving systems.
+// applications that repeatedly solve evolving systems. A matrix whose
+// pattern differs from the originally factorized one is rejected with an
+// error (the static structure only bounds fill for the analyzed pattern).
 func (f *Factorization) Refactorize(a *Matrix) error {
-	if a.N != f.sym.N {
-		return fmt.Errorf("sstar: refactorize size mismatch: %d vs %d", a.N, f.sym.N)
+	if a == nil {
+		return fmt.Errorf("sstar: refactorize: nil matrix")
+	}
+	if a.N != f.sym.N || a.M != f.sym.N {
+		return fmt.Errorf("sstar: refactorize size mismatch: %dx%d vs %d", a.N, a.M, f.sym.N)
+	}
+	if a.Nnz() != f.patNnz || patternHash(a) != f.patHash {
+		return fmt.Errorf("sstar: refactorize pattern mismatch: matrix has %d nonzeros in a different structure than the factorized pattern (%d nonzeros)", a.Nnz(), f.patNnz)
 	}
 	fact, err := core.FactorizeSeq(a, f.sym)
 	if err != nil {
@@ -311,7 +325,11 @@ func FactorizeParallel(a *Matrix, o ParOptions) (*Factorization, *RunStats, erro
 			stats.Utilization[i] = busy / res.ParallelTime
 		}
 	}
-	return &Factorization{sym: sym, fact: res.Fact, parOwner: owner, parProcs: o.Procs, parModel: m, parGrid: grid}, stats, nil
+	return &Factorization{
+		sym: sym, fact: res.Fact,
+		patHash: patternHash(a), patNnz: a.Nnz(),
+		parOwner: owner, parProcs: o.Procs, parModel: m, parGrid: grid,
+	}, stats, nil
 }
 
 // Residual returns ||Ax-b||_inf / (||A||_inf ||x||_inf + ||b||_inf), the
@@ -321,27 +339,13 @@ func Residual(a *Matrix, x, b []float64) float64 {
 	a.MulVec(x, r)
 	num, xn, bn := 0.0, 0.0, 0.0
 	for i := range r {
-		num = max(num, abs(r[i]-b[i]))
-		xn = max(xn, abs(x[i]))
-		bn = max(bn, abs(b[i]))
+		num = max(num, math.Abs(r[i]-b[i]))
+		xn = max(xn, math.Abs(x[i]))
+		bn = max(bn, math.Abs(b[i]))
 	}
 	den := a.NormInf()*xn + bn
 	if den == 0 {
 		return 0
 	}
 	return num / den
-}
-
-func abs(x float64) float64 {
-	if x < 0 {
-		return -x
-	}
-	return x
-}
-
-func max(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
 }
