@@ -54,11 +54,15 @@ func (an *Analysis) FactorizeWith(a *Matrix) (*Factorization, error) {
 	if !an.pat.EqualCSR(a) {
 		return nil, fmt.Errorf("sstar: FactorizeWith: matrix pattern differs from the analyzed pattern (%d vs %d nonzeros)", a.Nnz(), an.pat.Nnz())
 	}
-	fact, err := core.FactorizeSeq(a, an.sym)
+	fact, err := core.FactorizeHost(a, an.sym, an.opts.HostWorkers)
 	if err != nil {
 		return nil, err
 	}
-	return &Factorization{sym: an.sym, fact: fact, patHash: patternHash(a), patNnz: a.Nnz()}, nil
+	return &Factorization{
+		sym: an.sym, fact: fact,
+		hostWorkers: an.opts.HostWorkers,
+		patHash:     patternHash(a), patNnz: a.Nnz(),
+	}, nil
 }
 
 // N returns the matrix order the analysis was computed for.
@@ -111,7 +115,10 @@ func patternHash(a *Matrix) uint64 {
 // per the paper's pivot-independence property the analyze phase is a pure
 // function of the pattern, so a cached Analysis under this key serves every
 // matrix that hashes to it (after an exact pattern check to rule out the
-// astronomically unlikely collision).
+// astronomically unlikely collision). Options that cannot change the
+// analysis or the factors (HostWorkers: the parallel factors are
+// bit-identical to sequential) are deliberately excluded, so one cached
+// Analysis serves requests at any parallelism level.
 func StructureKey(a *Matrix, o Options) uint64 {
 	h := fnv.New64a()
 	var b [8]byte

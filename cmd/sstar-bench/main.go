@@ -7,9 +7,11 @@
 //	sstar-bench -experiment table6 -scale 0.5   # one artifact, smaller inputs
 //	sstar-bench -experiment ablations -matrix goodwin
 //	sstar-bench -experiment kernels             # kernel GFLOP/s -> BENCH_kernels.json
+//	sstar-bench -experiment hostpar             # wall-clock parallel factorization speedup -> BENCH_hostpar.json
+//	sstar-bench -experiment hostpar -procs 1,2,4,8,16   # custom worker sweep
 //
-// Experiments: kernels table1 table2 table3 table4 table5 table6 table7 fig16
-// fig17 fig18 ablations all.
+// Experiments: kernels hostpar table1 table2 table3 table4 table5 table6
+// table7 fig16 fig17 fig18 ablations all.
 package main
 
 import (
@@ -31,7 +33,7 @@ func main() {
 		amalg      = flag.Int("r", 4, "amalgamation factor (paper: 4-6)")
 		procsFlag  = flag.String("procs", "", "comma-separated processor counts (default: per-experiment paper values)")
 		matrix     = flag.String("matrix", "goodwin", "matrix for the ablation sweeps")
-		out        = flag.String("out", "BENCH_kernels.json", "output path for the kernels experiment report")
+		out        = flag.String("out", "", "output path for the kernels/hostpar reports (default BENCH_<experiment>.json)")
 	)
 	flag.Parse()
 	cfg := bench.Config{Scale: *scale, BSize: *bsize, Amalg: *amalg}
@@ -55,16 +57,36 @@ func main() {
 		name string
 		run  func() (*bench.Table, error)
 	}
+	outPath := func(def string) string {
+		if *out != "" {
+			return *out
+		}
+		return def
+	}
+
 	jobs := []job{
 		{"kernels", func() (*bench.Table, error) {
 			rep, err := bench.Kernels(cfg)
 			if err != nil {
 				return nil, err
 			}
-			if err := rep.WriteJSON(*out); err != nil {
+			path := outPath("BENCH_kernels.json")
+			if err := rep.WriteJSON(path); err != nil {
 				return nil, err
 			}
-			fmt.Printf("wrote %s\n", *out)
+			fmt.Printf("wrote %s\n", path)
+			return rep.Table(), nil
+		}},
+		{"hostpar", func() (*bench.Table, error) {
+			rep, err := bench.Hostpar(cfg, parseProcs(bench.HostparWorkerCounts()))
+			if err != nil {
+				return nil, err
+			}
+			path := outPath("BENCH_hostpar.json")
+			if err := rep.WriteJSON(path); err != nil {
+				return nil, err
+			}
+			fmt.Printf("wrote %s\n", path)
 			return rep.Table(), nil
 		}},
 		{"table1", func() (*bench.Table, error) { return bench.Table1(cfg) }},

@@ -82,6 +82,7 @@ func main() {
 		check    = flag.Bool("check", false, "verify every solve's residual (slower)")
 		seed     = flag.Int64("seed", 1, "traffic randomness seed")
 		workers  = flag.Int("workers", 4, "in-process server workers (when -addr is empty)")
+		factorW  = flag.Int("factor-workers", 0, "in-process server factor-phase goroutines per request; 0 = NumCPU/workers")
 		cacheSz  = flag.Int("cache", 64, "in-process server analysis cache entries")
 		out      = flag.String("out", "BENCH_service.json", "report output path")
 	)
@@ -92,7 +93,7 @@ func main() {
 	target := *addr
 	net_ := *network
 	if target == "" {
-		s := server.New(server.Config{Workers: *workers, CacheEntries: *cacheSz})
+		s := server.New(server.Config{Workers: *workers, FactorWorkers: *factorW, CacheEntries: *cacheSz})
 		l, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			log.Fatalf("sstar-load: %v", err)
@@ -101,7 +102,8 @@ func main() {
 		defer s.Close()
 		target = l.Addr().String()
 		net_ = "tcp"
-		log.Printf("sstar-load: in-process server on %s (workers=%d cache=%d)", target, *workers, *cacheSz)
+		st := s.Stats()
+		log.Printf("sstar-load: in-process server on %s (workers=%d factor-workers=%d cache=%d)", target, st.Workers, st.FactorWorkers, *cacheSz)
 	}
 
 	// One base matrix per pattern: distinct structures (varying nx and
@@ -235,8 +237,8 @@ func main() {
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		log.Fatalf("sstar-load: %v", err)
 	}
-	log.Printf("sstar-load: %d requests in %.2fs = %.0f req/s, p50 %.2fms p99 %.2fms, cache hit rate %.0f%%, %d errors -> %s",
-		rep.Requests, rep.ElapsedS, rep.ThroughputRPS, rep.Latency.P50ms, rep.Latency.P99ms, 100*rep.Cache.HitRate, rep.Errors, *out)
+	log.Printf("sstar-load: %d requests in %.2fs = %.0f req/s, p50 %.2fms p99 %.2fms, cache hit rate %.0f%%, core split %d workers x %d factor-workers, %d errors -> %s",
+		rep.Requests, rep.ElapsedS, rep.ThroughputRPS, rep.Latency.P50ms, rep.Latency.P99ms, 100*rep.Cache.HitRate, st.Workers, st.FactorWorkers, rep.Errors, *out)
 }
 
 func parseMix(s string) [3]int {

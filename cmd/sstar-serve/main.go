@@ -30,6 +30,7 @@ func main() {
 		tcpAddr  = flag.String("tcp", "", "TCP listen address (e.g. :7071); empty disables")
 		unixPath = flag.String("unix", "", "Unix socket path; empty disables")
 		workers  = flag.Int("workers", 4, "concurrent factorize/solve workers")
+		factorW  = flag.Int("factor-workers", 0, "goroutines per numeric factor phase; 0 = NumCPU/workers (core split)")
 		cache    = flag.Int("cache", 64, "analysis cache capacity (structures)")
 		quiet    = flag.Bool("quiet", false, "suppress per-event logging")
 	)
@@ -40,7 +41,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := server.Config{Workers: *workers, CacheEntries: *cache}
+	cfg := server.Config{Workers: *workers, FactorWorkers: *factorW, CacheEntries: *cache}
 	if !*quiet {
 		cfg.Logf = log.Printf
 	}
@@ -53,7 +54,8 @@ func main() {
 			errc <- err
 			return
 		}
-		log.Printf("sstar-serve: listening on %s %s (workers=%d cache=%d)", network, addr, *workers, *cache)
+		st := s.Stats()
+		log.Printf("sstar-serve: listening on %s %s (workers=%d factor-workers=%d cache=%d)", network, addr, st.Workers, st.FactorWorkers, *cache)
 		errc <- s.Serve(l)
 	}
 	if *tcpAddr != "" {

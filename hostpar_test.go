@@ -1,0 +1,112 @@
+package sstar
+
+import (
+	"testing"
+)
+
+// factsBitIdentical compares two facade factorizations bit for bit: pivot
+// sequence and every packed factor block.
+func factsBitIdentical(t *testing.T, label string, a, b *Factorization) {
+	t.Helper()
+	for m := range a.fact.Piv {
+		if a.fact.Piv[m] != b.fact.Piv[m] {
+			t.Fatalf("%s: pivot %d differs", label, m)
+		}
+	}
+	bm, bn := a.fact.BM, b.fact.BM
+	for k := range bm.Diag {
+		for i, v := range bm.Diag[k].Data {
+			if bn.Diag[k].Data[i] != v {
+				t.Fatalf("%s: diag block %d differs at %d", label, k, i)
+			}
+		}
+		for j := range bm.LCol[k] {
+			for i, v := range bm.LCol[k][j].Data {
+				if bn.LCol[k][j].Data[i] != v {
+					t.Fatalf("%s: L block (%d,%d) differs at %d", label, k, j, i)
+				}
+			}
+		}
+		for j := range bm.URow[k] {
+			for i, v := range bm.URow[k][j].Data {
+				if bn.URow[k][j].Data[i] != v {
+					t.Fatalf("%s: U block (%d,%d) differs at %d", label, k, j, i)
+				}
+			}
+		}
+	}
+}
+
+func TestFactorizeHostParallelBitIdentical(t *testing.T) {
+	a := GenGrid2D(13, 12, false, GenOptions{Seed: 81, Convection: 0.5})
+	seq, err := Factorize(a, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{0, 1, 2, 4, 8} {
+		o := DefaultOptions()
+		o.HostWorkers = w
+		par, err := FactorizeHostParallel(a, o)
+		if err != nil {
+			t.Fatalf("HostWorkers=%d: %v", w, err)
+		}
+		factsBitIdentical(t, "FactorizeHostParallel vs Factorize", seq, par)
+		b := rhs(a.N, int64(82+w))
+		x, err := par.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := Residual(a, x, b); r > 1e-10 {
+			t.Fatalf("HostWorkers=%d: residual %g", w, r)
+		}
+	}
+}
+
+// TestRefactorizeKeepsParallelPath: a handle built with HostWorkers > 1 must
+// refactorize through the parallel driver and still produce factors
+// bit-identical to a fresh sequential factorization of the new values.
+func TestRefactorizeKeepsParallelPath(t *testing.T) {
+	a := GenCircuit(200, 3, GenOptions{Seed: 83})
+	o := DefaultOptions()
+	o.HostWorkers = 4
+	par, err := FactorizeHostParallel(a, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.hostWorkers != 4 {
+		t.Fatalf("handle lost its worker count: %d", par.hostWorkers)
+	}
+	a2 := a.Clone()
+	for i := range a2.Val {
+		a2.Val[i] *= 0.7
+	}
+	if err := par.Refactorize(a2); err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Factorize(a2, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	factsBitIdentical(t, "parallel refactorize vs fresh sequential", seq, par)
+}
+
+// TestStructureKeyIgnoresHostWorkers: the worker count never changes the
+// analysis or the factors, so it must not fragment structure-keyed caches.
+func TestStructureKeyIgnoresHostWorkers(t *testing.T) {
+	a := GenGrid2D(9, 9, false, GenOptions{Seed: 84})
+	base := DefaultOptions()
+	k0 := StructureKey(a, base)
+	for _, w := range []int{1, 2, 8, 64} {
+		o := base
+		o.HostWorkers = w
+		if k := StructureKey(a, o); k != k0 {
+			t.Fatalf("HostWorkers=%d changed the structure key: %x vs %x", w, k, k0)
+		}
+	}
+	// Sanity: options that do change results still change the key.
+	o := base
+	o.BlockSize = base.BlockSize + 5
+	if StructureKey(a, o) == k0 {
+		t.Fatal("BlockSize change did not change the structure key")
+	}
+}

@@ -1,0 +1,255 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"sstar/internal/core"
+	"sstar/internal/sparse"
+	"sstar/internal/supernode"
+)
+
+// HostparPoint is one (worker count, wall clock) measurement of the
+// shared-memory task-DAG executor on one matrix.
+type HostparPoint struct {
+	Workers int     `json:"workers"`
+	Seconds float64 `json:"seconds"`
+	MFLOPS  float64 `json:"mflops"`
+	// Speedup is sequential-driver seconds over this point's seconds.
+	Speedup float64 `json:"speedup"`
+	// BitIdentical reports that this run's factors (all block data and the
+	// pivot sequence) matched the sequential factorization bit for bit —
+	// the executor's determinism contract, verified per measurement.
+	BitIdentical bool `json:"bit_identical"`
+}
+
+// HostparMatrix is the speedup curve of one suite matrix.
+type HostparMatrix struct {
+	Matrix     string         `json:"matrix"`
+	Order      int            `json:"order"`
+	Nnz        int            `json:"nnz"`
+	Blocks     int            `json:"blocks"`
+	Tasks      int            `json:"tasks"`
+	Flops      int64          `json:"factor_flops"`
+	SeqSeconds float64        `json:"seq_seconds"`
+	Points     []HostparPoint `json:"points"`
+}
+
+// HostparReport is the tracked BENCH_hostpar.json artifact: wall-clock
+// factorization speedup of core.FactorizeHost over worker counts on the
+// large suite matrices, with the host context needed to read the curve (a
+// single-core container cannot show real speedup however good the
+// scheduler; num_cpu says which regime the numbers were taken in).
+type HostparReport struct {
+	GeneratedAt string          `json:"generated_at"`
+	GoVersion   string          `json:"go_version"`
+	GOOS        string          `json:"goos"`
+	GOARCH      string          `json:"goarch"`
+	NumCPU      int             `json:"num_cpu"`
+	GOMAXPROCS  int             `json:"gomaxprocs"`
+	Scale       float64         `json:"scale"`
+	BSize       int             `json:"bsize"`
+	Amalg       int             `json:"amalg"`
+	Workers     []int           `json:"worker_counts"`
+	Matrices    []HostparMatrix `json:"matrices"`
+}
+
+// HostparWorkerCounts returns the default worker sweep: 1, 2, 4, ...
+// doubling past NumCPU up to at least 8, so the curve shows both the scaling
+// region and the oversubscribed tail.
+func HostparWorkerCounts() []int {
+	var out []int
+	top := max(8, runtime.NumCPU())
+	for w := 1; w <= top; w *= 2 {
+		out = append(out, w)
+	}
+	return out
+}
+
+// Hostpar measures the shared-memory parallel factorization on the large
+// suite matrices (the ones the paper reserves for the 2D code) over the
+// given worker counts, verifying bit-identity against the sequential driver
+// at every point.
+func Hostpar(cfg Config, workerCounts []int) (*HostparReport, error) {
+	if len(workerCounts) == 0 {
+		workerCounts = HostparWorkerCounts()
+	}
+	rep := &HostparReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Scale:       cfg.Scale,
+		BSize:       cfg.BSize,
+		Amalg:       cfg.Amalg,
+		Workers:     workerCounts,
+	}
+	for _, spec := range LargeSuite() {
+		m, err := hostparMatrix(spec, cfg, workerCounts)
+		if err != nil {
+			return nil, err
+		}
+		rep.Matrices = append(rep.Matrices, m)
+	}
+	return rep, nil
+}
+
+func hostparMatrix(spec Spec, cfg Config, workerCounts []int) (HostparMatrix, error) {
+	a := spec.Gen(cfg.Scale)
+	sym := core.Analyze(a, core.AnalyzeOptions{
+		Supernode: supernode.Options{MaxBlock: cfg.BSize, Amalgamate: cfg.Amalg},
+	})
+	seqSec, seq, err := timeFactorize(a, sym, 1)
+	if err != nil {
+		return HostparMatrix{}, fmt.Errorf("%s: %w", spec.Name, err)
+	}
+	m := HostparMatrix{
+		Matrix:     spec.Name,
+		Order:      a.N,
+		Nnz:        a.Nnz(),
+		Blocks:     sym.Partition.NB,
+		Tasks:      hostparTaskCount(sym.Partition.NB, sym),
+		Flops:      seq.Fl.Total(),
+		SeqSeconds: seqSec,
+	}
+	for _, w := range workerCounts {
+		sec, fact, err := timeFactorize(a, sym, w)
+		if err != nil {
+			return HostparMatrix{}, fmt.Errorf("%s workers=%d: %w", spec.Name, w, err)
+		}
+		m.Points = append(m.Points, HostparPoint{
+			Workers:      w,
+			Seconds:      sec,
+			MFLOPS:       mflops(fact.Fl.Total(), sec),
+			Speedup:      seqSec / sec,
+			BitIdentical: factorsEqual(seq, fact),
+		})
+	}
+	return m, nil
+}
+
+// timeFactorize runs core.FactorizeHost until the accumulated wall clock is
+// long enough for timer noise not to matter, returning the fastest run (the
+// standard way to strip scheduler jitter from a speedup curve) and its
+// factorization.
+func timeFactorize(a *sparse.CSR, sym *core.Symbolic, workers int) (float64, *core.Factorization, error) {
+	const (
+		minTotal = 300 * time.Millisecond
+		maxReps  = 5
+	)
+	best := 0.0
+	var fact *core.Factorization
+	total := time.Duration(0)
+	for rep := 0; rep < maxReps; rep++ {
+		t0 := time.Now()
+		f, err := core.FactorizeHost(a, sym, workers)
+		el := time.Since(t0)
+		if err != nil {
+			return 0, nil, err
+		}
+		if sec := el.Seconds(); fact == nil || sec < best {
+			best, fact = sec, f
+		}
+		total += el
+		if total >= minTotal {
+			break
+		}
+	}
+	return best, fact, nil
+}
+
+// factorsEqual reports bitwise equality of two factorizations: the pivot
+// sequence, every block's packed data, and the flop tallies.
+func factorsEqual(a, b *core.Factorization) bool {
+	if len(a.Piv) != len(b.Piv) || a.Fl != b.Fl {
+		return false
+	}
+	for i := range a.Piv {
+		if a.Piv[i] != b.Piv[i] {
+			return false
+		}
+	}
+	eq := func(x, y []float64) bool {
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	for k := range a.BM.Diag {
+		if !eq(a.BM.Diag[k].Data, b.BM.Diag[k].Data) {
+			return false
+		}
+		for i := range a.BM.LCol[k] {
+			if !eq(a.BM.LCol[k][i].Data, b.BM.LCol[k][i].Data) {
+				return false
+			}
+		}
+		for i := range a.BM.URow[k] {
+			if !eq(a.BM.URow[k][i].Data, b.BM.URow[k][i].Data) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// hostparTaskCount counts the DAG tasks without materializing the graph: one
+// Factor per block plus one Update per nonzero U block pair.
+func hostparTaskCount(nb int, sym *core.Symbolic) int {
+	n := nb
+	for k := 0; k < nb; k++ {
+		n += len(sym.Partition.UBlocks[k])
+	}
+	return n
+}
+
+// WriteJSON writes the report, indented for diff-friendly tracking.
+func (r *HostparReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Table renders the speedup curves for the terminal.
+func (r *HostparReport) Table() *Table {
+	t := &Table{
+		Title:   "Host-parallel factorization: wall-clock speedup over workers",
+		Headers: []string{"matrix", "order", "tasks", "seq s", "workers", "s", "speedup", "MFLOPS", "bit-id"},
+		Notes: []string{
+			fmt.Sprintf("%s %s/%s, NumCPU=%d GOMAXPROCS=%d, scale=%.2f",
+				r.GoVersion, r.GOOS, r.GOARCH, r.NumCPU, r.GOMAXPROCS, r.Scale),
+			"speedup = sequential-driver seconds / parallel seconds (fastest of repeated runs)",
+			"bit-id: parallel factors bitwise equal to the sequential factors",
+		},
+	}
+	for _, m := range r.Matrices {
+		for i, p := range m.Points {
+			name, order, tasks, seq := "", "", "", ""
+			if i == 0 {
+				name = m.Matrix
+				order = fmt.Sprintf("%d", m.Order)
+				tasks = fmt.Sprintf("%d", m.Tasks)
+				seq = fmt.Sprintf("%.3f", m.SeqSeconds)
+			}
+			t.AddRow(name, order, tasks, seq,
+				fmt.Sprintf("%d", p.Workers),
+				fmt.Sprintf("%.3f", p.Seconds),
+				fmt.Sprintf("%.2f", p.Speedup),
+				fmt.Sprintf("%.0f", p.MFLOPS),
+				fmt.Sprintf("%v", p.BitIdentical))
+		}
+	}
+	return t
+}

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestHostparQuick runs the hostpar experiment at reduced scale: every large
+// suite matrix, workers {1, 2, 4, 8}, and asserts what the tracked artifact
+// promises — a point per worker count, sane timings, and bit-identity of the
+// parallel factors at every single point.
+func TestHostparQuick(t *testing.T) {
+	cfg := Config{Scale: 0.15, BSize: 10, Amalg: 4}
+	workers := []int{1, 2, 4, 8}
+	rep, err := Hostpar(cfg, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Matrices) != len(LargeSuite()) {
+		t.Fatalf("report covers %d matrices, want %d", len(rep.Matrices), len(LargeSuite()))
+	}
+	for _, m := range rep.Matrices {
+		if len(m.Points) != len(workers) {
+			t.Fatalf("%s: %d points, want %d", m.Matrix, len(m.Points), len(workers))
+		}
+		if m.SeqSeconds <= 0 || m.Flops <= 0 || m.Tasks <= m.Blocks-1 {
+			t.Fatalf("%s: degenerate header %+v", m.Matrix, m)
+		}
+		for _, p := range m.Points {
+			if !p.BitIdentical {
+				t.Fatalf("%s workers=%d: parallel factors not bit-identical", m.Matrix, p.Workers)
+			}
+			if p.Seconds <= 0 || p.Speedup <= 0 || p.MFLOPS <= 0 {
+				t.Fatalf("%s workers=%d: degenerate point %+v", m.Matrix, p.Workers, p)
+			}
+		}
+	}
+	// The JSON artifact must round-trip with its context fields populated.
+	path := filepath.Join(t.TempDir(), "hostpar.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back HostparReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.NumCPU < 1 || back.GoVersion == "" || len(back.Matrices) != len(rep.Matrices) {
+		t.Fatalf("round-tripped report lost context: %+v", back)
+	}
+	if got := rep.Table(); len(got.Rows) != len(rep.Matrices)*len(workers) {
+		t.Fatalf("table has %d rows, want %d", len(got.Rows), len(rep.Matrices)*len(workers))
+	}
+}
+
+func TestHostparWorkerCountsShape(t *testing.T) {
+	ws := HostparWorkerCounts()
+	if len(ws) == 0 || ws[0] != 1 {
+		t.Fatalf("worker sweep must start at 1: %v", ws)
+	}
+	for i := 1; i < len(ws); i++ {
+		if ws[i] != 2*ws[i-1] {
+			t.Fatalf("worker sweep must double: %v", ws)
+		}
+	}
+	if top := ws[len(ws)-1]; top < 8 {
+		t.Fatalf("worker sweep must reach at least 8: %v", ws)
+	}
+}

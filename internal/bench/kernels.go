@@ -125,6 +125,7 @@ func Kernels(cfg Config) (*KernelReport, error) {
 			benchFactorPanelKernel(s),
 		)
 	}
+	rep.Kernels = append(rep.Kernels, benchSolveManyKernels(cfg)...)
 	for _, spec := range Suite() {
 		r, err := benchEndToEnd(spec, cfg)
 		if err != nil {
@@ -215,6 +216,43 @@ func benchFactorPanelKernel(s int) KernelResult {
 		}
 	})
 	return KernelResult{Kernel: "factor_panel", M: 2 * s, N: s, K: s, NsPerOp: ns, GFLOPS: gflopsOf(flops, ns)}
+}
+
+// benchSolveManyKernels times the multi-RHS triangular solve on a factored
+// suite-scale matrix: the blocked SolveMany (panels of RHS through the
+// packed GEMM engine) against the column-at-a-time loop over Solve, at
+// several RHS counts. m is the matrix order, n the RHS count; the flop
+// model is one mul-add (2 flops) per stored factor entry per RHS — rough,
+// but identical for both rows, so the ratio is the real speedup.
+func benchSolveManyKernels(cfg Config) []KernelResult {
+	a := sparse.Grid2D(40, 40, true, sparse.GenOptions{Convection: 0.4, Seed: 117})
+	sym := core.Analyze(a, core.AnalyzeOptions{
+		Supernode: supernode.Options{MaxBlock: cfg.BSize, Amalgamate: cfg.Amalg},
+	})
+	fact, err := core.FactorizeSeq(a, sym)
+	if err != nil {
+		panic(fmt.Sprintf("bench: solve-many matrix singular: %v", err))
+	}
+	entries := fact.BM.StorageEntries()
+	var out []KernelResult
+	for _, nrhs := range []int{1, 8, 32} {
+		b := make([]float64, a.N*nrhs)
+		fillRand(b, uint64(200+nrhs))
+		ns := benchNs(func() {
+			if _, err := fact.SolveMany(b, nrhs); err != nil {
+				panic(err)
+			}
+		})
+		flops := 2 * entries * int64(nrhs)
+		out = append(out, KernelResult{Kernel: "solve_many", M: a.N, N: nrhs, NsPerOp: ns, GFLOPS: gflopsOf(flops, ns)})
+		nsLoop := benchNs(func() {
+			for j := 0; j < nrhs; j++ {
+				fact.Solve(b[j*a.N : (j+1)*a.N])
+			}
+		})
+		out = append(out, KernelResult{Kernel: "solve_columns", M: a.N, N: nrhs, NsPerOp: nsLoop, GFLOPS: gflopsOf(flops, nsLoop)})
+	}
+	return out
 }
 
 func benchEndToEnd(spec Spec, cfg Config) (EndToEndResult, error) {

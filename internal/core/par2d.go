@@ -12,7 +12,18 @@ import (
 // GridShape picks the processor grid p = pr x pc for the 2D codes. The paper
 // sets pc/pr = 2 in practice; for processor counts where that is not exact we
 // take the divisor of p closest to sqrt(p/2), preferring the smaller.
+//
+// A prime p > 3 has only the degenerate divisors 1 and p, and a 1 x p grid
+// collapses the 2D codes into a bad 1D mapping (every block row on one
+// processor row). Rather than accept that cliff, GridShape falls back to the
+// best grid of p-1 processors — one processor idles, which costs 1/p of the
+// machine instead of the grid's whole row dimension. pr*pc may therefore be
+// p-1; callers must use the returned shape, not assume pr*pc == p. Tiny
+// counts (p <= 3) keep their natural 1 x p row, where 1D and 2D coincide.
 func GridShape(p int) (pr, pc int) {
+	if p > 3 && smallestFactor(p) == p {
+		return GridShape(p - 1)
+	}
 	target := math.Sqrt(float64(p) / 2)
 	best, bestDist := 1, math.Abs(1-target)
 	for d := 2; d <= p; d++ {
@@ -24,6 +35,16 @@ func GridShape(p int) (pr, pc int) {
 		}
 	}
 	return best, p / best
+}
+
+// smallestFactor returns the least factor >= 2 of p (p itself when prime).
+func smallestFactor(p int) int {
+	for d := 2; d*d <= p; d++ {
+		if p%d == 0 {
+			return d
+		}
+	}
+	return p
 }
 
 // pivCand is the per-column pivot candidate a processor reports to the owner

@@ -138,6 +138,37 @@ func TestGridShape(t *testing.T) {
 	}
 }
 
+// Prime processor counts > 3 must not collapse to a degenerate 1 x p grid:
+// GridShape falls back to the best grid of p-1 (one idle processor beats a
+// 1D mapping masquerading as 2D). Tiny counts keep their 1 x p row.
+func TestGridShapePrime(t *testing.T) {
+	cases := map[int][2]int{
+		2:  {1, 2}, // small counts: 1 x p is the only sane shape
+		3:  {1, 3},
+		5:  {1, 4},  // falls back to 4, whose sqrt(p/2)-closest divisor is still 1
+		7:  {2, 3},  // falls back to 6
+		13: {2, 6},  // falls back to 12
+		31: {3, 10}, // falls back to 30
+	}
+	for p, want := range cases {
+		pr, pc := GridShape(p)
+		if pr != want[0] || pc != want[1] {
+			t.Errorf("GridShape(%d) = (%d,%d), want (%d,%d)", p, pr, pc, want[0], want[1])
+		}
+	}
+	// Every count must yield a usable grid of p or p-1 processors, and no
+	// prime count above 5 may keep the degenerate 1 x p row.
+	for p := 1; p <= 64; p++ {
+		pr, pc := GridShape(p)
+		if pr < 1 || pc < 1 || pr*pc > p || pr*pc < p-1 {
+			t.Errorf("GridShape(%d) = (%d,%d) out of range", p, pr, pc)
+		}
+		if p > 5 && smallestFactor(p) == p && pr == 1 {
+			t.Errorf("GridShape(%d) = degenerate 1x%d grid for a prime count", p, pc)
+		}
+	}
+}
+
 func TestFactorize2DAsyncMatchesSequential(t *testing.T) {
 	a := testMatrixPar()
 	sym := analyzeFor(t, a, 8, 4)

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"sstar/internal/sparse"
+	"sstar/internal/supernode"
+	"sstar/internal/taskgraph"
+)
+
+// FactorizeHost runs the numeric factorization on real shared-memory
+// hardware: the Factor(k)/Update(k,j) task DAG of the paper's Section 4 is
+// executed by `workers` goroutines with atomic dependence counters and a
+// critical-path-priority ready queue. This is the wall-clock counterpart of
+// the virtual-time codes — same tasks, same dependences, but the parallel
+// time is real.
+//
+// Determinism: the factors are bit-identical to FactorizeSeq's, whatever the
+// worker count and however the scheduler interleaves. The argument rests on
+// the DAG's dependence properties:
+//
+//   - Update(k, j) writes only block column j and reads only block column k
+//     and the panel-k pivot sequence; Factor(k) writes only block column k
+//     and piv[panel k]. Tasks targeting different block columns therefore
+//     never write the same memory.
+//   - All updates into one destination column j are serialized in ascending
+//     source order k by the Update-chain property (the chain edges
+//     Update(k,j) -> Update(k',j)), and Factor(j) runs after the last of
+//     them — exactly the relative order FactorizeSeq executes them in.
+//
+// So every block column experiences the same sequence of floating-point
+// operations on the same inputs as in the sequential code, and the
+// accumulation order (the only thing reordering could perturb) is pinned.
+// The same holds transitively for the pivot choices, which are a function of
+// the (bit-identical) column data.
+//
+// workers <= 1 falls back to the sequential driver. Each worker owns a
+// pre-sized Workspace, so the steady state allocates nothing.
+func FactorizeHost(a *sparse.CSR, sym *Symbolic, workers int) (*Factorization, error) {
+	if workers <= 1 {
+		return FactorizeSeq(a, sym)
+	}
+	work := sym.PermutedMatrix(a)
+	bm := supernode.NewBlockMatrix(sym.Partition, work)
+	piv := make([]int32, sym.N)
+	g := taskgraph.Build(sym.Partition)
+	if workers > len(g.Tasks) {
+		workers = len(g.Tasks)
+	}
+
+	// Ready-queue priority: longest weighted path to an exit (bottom level)
+	// over raw flop weights. Descheduling the critical path last is the
+	// classic way to starve the tail of the factorization, so the heap pops
+	// the largest bottom level first.
+	blevel := func() []float64 {
+		w := g.Weights(1, 1, 1, 1, 0)
+		_, bl := g.CriticalPath(w)
+		return bl
+	}()
+
+	run := &hostRun{
+		g:         g,
+		deps:      g.InDegrees(),
+		blevel:    blevel,
+		remaining: int32(len(g.Tasks)),
+	}
+	run.cond = sync.NewCond(&run.mu)
+	for id, d := range run.deps {
+		if d == 0 {
+			run.ready.push(id, blevel[id])
+		}
+	}
+
+	tol := sym.pivotTol()
+	spaces := make([]*Workspace, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		ws := NewWorkspace(bm)
+		spaces[w] = ws
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			run.work(bm, piv, tol, ws)
+		}()
+	}
+	wg.Wait()
+	if run.err != nil {
+		return nil, run.err
+	}
+	// Merge the per-worker flop tallies (integer sums: order-independent).
+	var fl Flops
+	for _, ws := range spaces {
+		fl.Add(ws.Fl)
+	}
+	return &Factorization{Sym: sym, BM: bm, Piv: piv, Fl: fl}, nil
+}
+
+// hostRun is the shared state of one parallel factorization: the dependence
+// counters (decremented atomically on task completion), the priority ready
+// queue (mutex+cond protected) and the first error.
+type hostRun struct {
+	g      *taskgraph.Graph
+	deps   []int32
+	blevel []float64
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	ready     taskHeap
+	remaining int32
+	err       error
+	aborted   bool
+}
+
+// work is one worker's loop: pop the highest-priority ready task, execute it,
+// release the successors whose dependence counters hit zero.
+func (r *hostRun) work(bm *supernode.BlockMatrix, piv []int32, tol float64, ws *Workspace) {
+	for {
+		r.mu.Lock()
+		for len(r.ready.ids) == 0 && !r.aborted && r.remaining > 0 {
+			r.cond.Wait()
+		}
+		if r.aborted || r.remaining == 0 {
+			r.mu.Unlock()
+			return
+		}
+		id := r.ready.pop()
+		r.mu.Unlock()
+
+		t := r.g.Tasks[id]
+		var err error
+		if t.Kind == taskgraph.KindFactor {
+			err = FactorPanel(bm, t.K, piv, tol, ws)
+		} else {
+			UpdatePanelPair(bm, t.K, t.J, piv, ws)
+		}
+		if err != nil {
+			r.mu.Lock()
+			if r.err == nil {
+				r.err = err
+			}
+			r.aborted = true
+			r.mu.Unlock()
+			r.cond.Broadcast()
+			return
+		}
+
+		// Release successors. The atomic decrement orders this task's writes
+		// before the successor's execution: the worker that drops a counter
+		// to zero publishes the task through the mutex-protected queue.
+		for _, s := range t.Succ {
+			if atomic.AddInt32(&r.deps[s], -1) == 0 {
+				r.mu.Lock()
+				r.ready.push(s, r.blevel[s])
+				r.mu.Unlock()
+				r.cond.Signal()
+			}
+		}
+		r.mu.Lock()
+		r.remaining--
+		done := r.remaining == 0
+		r.mu.Unlock()
+		if done {
+			r.cond.Broadcast()
+		}
+	}
+}
+
+// taskHeap is a max-heap of task ids keyed by priority, hand-rolled (rather
+// than container/heap's interface) to keep pops allocation-free on the hot
+// scheduling path.
+type taskHeap struct {
+	ids  []int
+	prio []float64
+}
+
+func (h *taskHeap) push(id int, p float64) {
+	h.ids = append(h.ids, id)
+	h.prio = append(h.prio, p)
+	i := len(h.ids) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.prio[parent] >= h.prio[i] {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *taskHeap) pop() int {
+	top := h.ids[0]
+	last := len(h.ids) - 1
+	h.swap(0, last)
+	h.ids = h.ids[:last]
+	h.prio = h.prio[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < last && h.prio[l] > h.prio[big] {
+			big = l
+		}
+		if r < last && h.prio[r] > h.prio[big] {
+			big = r
+		}
+		if big == i {
+			break
+		}
+		h.swap(i, big)
+		i = big
+	}
+	return top
+}
+
+func (h *taskHeap) swap(i, j int) {
+	h.ids[i], h.ids[j] = h.ids[j], h.ids[i]
+	h.prio[i], h.prio[j] = h.prio[j], h.prio[i]
+}
+
+// DefaultHostWorkers is the worker count FactorizeHost callers should use
+// when they want "all the cores": the scheduler's view of the CPU count.
+func DefaultHostWorkers() int { return runtime.NumCPU() }

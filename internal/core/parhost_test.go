@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"sstar/internal/sparse"
+	"sstar/internal/supernode"
+)
+
+var hostWorkerCounts = []int{1, 2, 4, 8}
+
+// assertFactorsBitIdentical fails unless the two factorizations match bit
+// for bit: pivot sequence, every block's packed data, flop tallies.
+func assertFactorsBitIdentical(t *testing.T, label string, seq, par *Factorization) {
+	t.Helper()
+	if seq.Fl != par.Fl {
+		t.Fatalf("%s: flop tallies differ: %+v vs %+v", label, seq.Fl, par.Fl)
+	}
+	for m := range seq.Piv {
+		if seq.Piv[m] != par.Piv[m] {
+			t.Fatalf("%s: pivot %d differs: %d vs %d", label, m, seq.Piv[m], par.Piv[m])
+		}
+	}
+	checkData := func(kind string, k int, a, b []float64) {
+		t.Helper()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: %s block %d differs at %d: %x vs %x", label, kind, k, i, a[i], b[i])
+			}
+		}
+	}
+	for k := range seq.BM.Diag {
+		checkData("diag", k, seq.BM.Diag[k].Data, par.BM.Diag[k].Data)
+		for i := range seq.BM.LCol[k] {
+			checkData("L", k, seq.BM.LCol[k][i].Data, par.BM.LCol[k][i].Data)
+		}
+		for i := range seq.BM.URow[k] {
+			checkData("U", k, seq.BM.URow[k][i].Data, par.BM.URow[k][i].Data)
+		}
+	}
+}
+
+func TestFactorizeHostBitIdentical(t *testing.T) {
+	mats := map[string]*sparse.CSR{
+		"grid2d":  sparse.Grid2D(14, 13, false, sparse.GenOptions{Convection: 0.6, Seed: 61}),
+		"grid3d":  sparse.Grid3D(6, 6, 6, sparse.GenOptions{DOF: 2, Convection: 0.3, Seed: 62}),
+		"circuit": sparse.Circuit(300, 4, sparse.GenOptions{Convection: 0.5, Seed: 63}),
+		"dense":   sparse.Dense(80, 64),
+	}
+	for name, a := range mats {
+		sym := Analyze(a, AnalyzeOptions{Supernode: supernode.Options{MaxBlock: 8, Amalgamate: 4}})
+		seq, err := FactorizeSeq(a, sym)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, w := range hostWorkerCounts {
+			par, err := FactorizeHost(a, sym, w)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, w, err)
+			}
+			assertFactorsBitIdentical(t, name, seq, par)
+			// The parallel factors must solve, not just match.
+			b := randRHS(a.N, int64(70+w))
+			if r := residual(a, par.Solve(b), b); r > 1e-8 {
+				t.Fatalf("%s workers=%d: residual %g", name, w, r)
+			}
+		}
+	}
+}
+
+func TestFactorizeHostBitIdenticalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(60)
+		a := sparse.RandomSparse(n, 1+rng.Intn(3), seed)
+		sym := Analyze(a, AnalyzeOptions{Supernode: supernode.Options{MaxBlock: 6, Amalgamate: 3}})
+		seq, err := FactorizeSeq(a, sym)
+		if err != nil {
+			return true // singular instances are covered below
+		}
+		w := 2 + rng.Intn(7)
+		par, err := FactorizeHost(a, sym, w)
+		if err != nil {
+			return false
+		}
+		if seq.Fl != par.Fl {
+			return false
+		}
+		for m := range seq.Piv {
+			if seq.Piv[m] != par.Piv[m] {
+				return false
+			}
+		}
+		for k := range seq.BM.Diag {
+			for i, v := range seq.BM.Diag[k].Data {
+				if par.BM.Diag[k].Data[i] != v {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFactorizeHostSingular: a numerically singular matrix must come back as
+// an error from the parallel driver too (workers abort cleanly), not a hang
+// or a panic.
+func TestFactorizeHostSingular(t *testing.T) {
+	a := sparse.Dense(30, 9)
+	// Zero out column 7's values: structurally full, numerically singular.
+	for i := 0; i < a.N; i++ {
+		cols, vals := a.Row(i)
+		for p, c := range cols {
+			if c == 7 {
+				vals[p] = 0
+			}
+		}
+	}
+	sym := Analyze(a, AnalyzeOptions{SkipOrdering: true, Supernode: supernode.Options{MaxBlock: 6}})
+	if _, err := FactorizeSeq(a, sym); err == nil {
+		t.Fatal("sequential driver accepted a singular matrix")
+	}
+	for _, w := range []int{2, 4} {
+		_, err := FactorizeHost(a, sym, w)
+		if err == nil {
+			t.Fatalf("workers=%d: parallel driver accepted a singular matrix", w)
+		}
+		if !strings.Contains(err.Error(), "singular") {
+			t.Fatalf("workers=%d: unexpected error %v", w, err)
+		}
+	}
+}
+
+// TestFactorizeHostWorkerClamp: more workers than tasks must not deadlock.
+func TestFactorizeHostWorkerClamp(t *testing.T) {
+	a := sparse.Grid2D(3, 3, false, sparse.GenOptions{Seed: 64})
+	sym := Analyze(a, AnalyzeOptions{Supernode: supernode.Options{MaxBlock: 4}})
+	par, err := FactorizeHost(a, sym, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := randRHS(a.N, 65)
+	if r := residual(a, par.Solve(b), b); r > 1e-9 {
+		t.Fatalf("residual %g", r)
+	}
+}

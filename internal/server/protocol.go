@@ -109,6 +109,14 @@ type RequestStats struct {
 	// CacheHit reports whether OpFactorize found the structure's analysis
 	// in the cache.
 	CacheHit bool
+	// Workers is the server's request-level worker pool size, reported so
+	// clients can attribute the cost split: QueueNs grows with
+	// Workers too small, FactorNs shrinks with FactorWorkers.
+	Workers int
+	// FactorWorkers is the goroutine count the numeric factor phase of
+	// this request ran with (the server's core-split knob; meaningful for
+	// factorize and refactorize).
+	FactorWorkers int
 }
 
 // ServerStats is a snapshot of the server's counters.
@@ -123,7 +131,10 @@ type ServerStats struct {
 	CacheEntries int // live cached analyses
 	Handles      int // live factorization handles
 	Workers      int
-	QueueDepth   int // requests waiting for a worker at snapshot time
+	// FactorWorkers is the per-request factor-phase goroutine count — the
+	// other half of the Workers × FactorWorkers core split.
+	FactorWorkers int
+	QueueDepth    int // requests waiting for a worker at snapshot time
 }
 
 // HitRate returns the analysis-cache hit rate in [0,1], 0 when no factorize

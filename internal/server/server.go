@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"net"
+	"runtime"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
@@ -18,6 +19,17 @@ type Config struct {
 	// concurrently (default 4). Requests beyond it queue; the queue wait
 	// is reported per request.
 	Workers int
+	// FactorWorkers is the goroutine count each request's numeric factor
+	// phase runs with — the knob that splits the machine's cores between
+	// request-level parallelism (Workers) and factor-level parallelism.
+	// Workers × FactorWorkers should roughly equal the core count: many
+	// small independent systems want high Workers and FactorWorkers=1;
+	// a few big systems want the opposite. Default: NumCPU()/Workers,
+	// floored at 1 (all cores to request-level concurrency when the pool
+	// is at least as wide as the machine). The server applies this to
+	// every factorize/refactorize — clients cannot grab more cores than
+	// the split grants; the factors are bit-identical at any setting.
+	FactorWorkers int
 	// QueueDepth is the buffered request backlog beyond the workers
 	// (default 8*Workers). A full queue applies backpressure to clients.
 	QueueDepth int
@@ -35,6 +47,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Workers < 1 {
 		c.Workers = 4
+	}
+	if c.FactorWorkers < 1 {
+		c.FactorWorkers = max(1, runtime.NumCPU()/c.Workers)
 	}
 	if c.QueueDepth < 1 {
 		c.QueueDepth = 8 * c.Workers
@@ -232,6 +247,7 @@ func (s *Server) worker() {
 			queueNs := time.Since(j.enqueued).Nanoseconds()
 			resp := s.process(j.req)
 			resp.Stats.QueueNs = queueNs
+			resp.Stats.Workers = s.cfg.Workers
 			s.requests.Add(1)
 			if resp.Err != "" {
 				s.errors.Add(1)
@@ -278,14 +294,22 @@ func (s *Server) doFactorize(req *Request) *Response {
 		return &Response{Err: "server: factorize needs a matrix"}
 	}
 	var stats RequestStats
-	key := sstar.StructureKey(a, req.Opts)
+	// The core split is server policy: the factor phase of every request
+	// runs with the configured FactorWorkers, whatever the client asked
+	// for. Normalizing before hashing keeps the cache's exact-options
+	// check consistent across clients (the key itself already ignores
+	// HostWorkers — parallelism never changes the analysis or factors).
+	opts := req.Opts
+	opts.HostWorkers = s.cfg.FactorWorkers
+	stats.FactorWorkers = s.cfg.FactorWorkers
+	key := sstar.StructureKey(a, opts)
 	t0 := time.Now()
-	an := s.cache.get(key, a, req.Opts)
+	an := s.cache.get(key, a, opts)
 	if an != nil {
 		stats.CacheHit = true
 	} else {
 		var err error
-		an, err = sstar.Analyze(a, req.Opts)
+		an, err = sstar.Analyze(a, opts)
 		if err != nil {
 			return &Response{Err: err.Error()}
 		}
@@ -337,6 +361,7 @@ func (s *Server) doRefactorize(req *Request) *Response {
 		m = &sstar.Matrix{N: h.n, M: h.n, RowPtr: h.rowPtr, ColInd: h.colInd, Val: req.Values}
 	}
 	var stats RequestStats
+	stats.FactorWorkers = s.cfg.FactorWorkers
 	t0 := time.Now()
 	h.mu.Lock()
 	err := h.f.Refactorize(m)
@@ -384,16 +409,17 @@ func (s *Server) Stats() ServerStats {
 	nHandles := len(s.handles)
 	s.mu.Unlock()
 	return ServerStats{
-		Requests:     s.requests.Load(),
-		Errors:       s.errors.Load(),
-		Factorizes:   s.factorizes.Load(),
-		Refactorizes: s.refactorizes.Load(),
-		Solves:       s.solves.Load(),
-		CacheHits:    hit,
-		CacheMisses:  miss,
-		CacheEntries: entries,
-		Handles:      nHandles,
-		Workers:      s.cfg.Workers,
-		QueueDepth:   len(s.jobs),
+		Requests:      s.requests.Load(),
+		Errors:        s.errors.Load(),
+		Factorizes:    s.factorizes.Load(),
+		Refactorizes:  s.refactorizes.Load(),
+		Solves:        s.solves.Load(),
+		CacheHits:     hit,
+		CacheMisses:   miss,
+		CacheEntries:  entries,
+		Handles:       nHandles,
+		Workers:       s.cfg.Workers,
+		FactorWorkers: s.cfg.FactorWorkers,
+		QueueDepth:    len(s.jobs),
 	}
 }

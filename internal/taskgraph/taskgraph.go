@@ -180,6 +180,17 @@ func (g *Graph) CriticalPath(w []float64) (float64, []float64) {
 	return cp, blevel
 }
 
+// InDegrees returns each task's predecessor count — the initial dependence
+// counters of a task-DAG executor (a task is ready when its counter reaches
+// zero). int32 so executors can decrement the returned slice atomically.
+func (g *Graph) InDegrees() []int32 {
+	deg := make([]int32, len(g.Tasks))
+	for i, t := range g.Tasks {
+		deg[i] = int32(len(t.Pred))
+	}
+	return deg
+}
+
 // TopoOrder returns a topological order of the task ids.
 func (g *Graph) TopoOrder() []int {
 	n := len(g.Tasks)

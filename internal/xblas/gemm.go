@@ -380,3 +380,39 @@ func TrsmLowerUnitLeft(k, n int, l []float64, ldl int, b []float64, ldb int) {
 		}
 	}
 }
+
+// TrsmUpperLeft solves U * X = B in place for an upper-triangular k-by-k U
+// (row-major, stride ldu, nonzero diagonal); B is k-by-n (row-major, stride
+// ldb) and is overwritten with X — the multi-RHS counterpart of TrsvUpper
+// for the blocked SolveMany backward sweep. Blocked like TrsmLowerUnitLeft:
+// the coupling of each diagonal block to the already-solved trailing rows
+// goes through the packed GEMM engine, only the trsmBlock-row backward
+// substitutions run as vector ops. Flops: n*k*k.
+func TrsmUpperLeft(k, n int, u []float64, ldu int, b []float64, ldb int) {
+	if k == 0 || n == 0 {
+		return
+	}
+	for ib := (k - 1) / trsmBlock * trsmBlock; ib >= 0; ib -= trsmBlock {
+		tb := min(trsmBlock, k-ib)
+		// Couple to the solved rows below: B[ib:ib+tb] -= U[ib:ib+tb, ib+tb:] * B[ib+tb:].
+		if rem := k - ib - tb; rem > 0 {
+			Gemm(tb, n, rem, u[ib*ldu+ib+tb:], ldu, b[(ib+tb)*ldb:], ldb, b[ib*ldb:], ldb)
+		}
+		// Backward substitution within the diagonal block.
+		for i := ib + tb - 1; i >= ib; i-- {
+			brow := b[i*ldb : i*ldb+n]
+			urow := u[i*ldu:]
+			for p := i + 1; p < ib+tb; p++ {
+				uip := urow[p]
+				prow := b[p*ldb : p*ldb+n]
+				for j, v := range prow {
+					brow[j] -= uip * v
+				}
+			}
+			d := urow[i]
+			for j := range brow {
+				brow[j] /= d
+			}
+		}
+	}
+}

@@ -1,8 +1,9 @@
 #!/bin/sh
 # Repo-wide checks: formatting, vet, build, full tests, then the race
 # detector over the packages with real concurrency (the virtual machine, the
-# shared-memory kernels, and the solver service with its client). Run from
-# the repo root; exits nonzero on the first failure.
+# shared-memory kernels with the task-DAG executor, the solver service with
+# its client, and the facade that drives the parallel factorization). Run
+# from the repo root; exits nonzero on the first failure.
 set -eux
 
 unformatted=$(gofmt -l .)
@@ -15,4 +16,4 @@ fi
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/machine ./internal/core ./internal/xblas ./internal/server ./client
+go test -race . ./internal/machine ./internal/core ./internal/xblas ./internal/server ./client

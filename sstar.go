@@ -60,6 +60,13 @@ type Options struct {
 	// communication) at a controlled stability cost. 0 or 1 selects
 	// classical partial pivoting.
 	PivotThreshold float64
+	// HostWorkers sets the goroutine count of the numeric factor phase:
+	// values above 1 execute the Factor/Update task DAG on that many
+	// shared-memory workers (see FactorizeHostParallel), 0 or 1 keep the
+	// sequential driver. The factors are bit-identical either way, so
+	// HostWorkers never changes results — only wall-clock — and it is
+	// deliberately excluded from StructureKey.
+	HostWorkers int
 }
 
 // DefaultOptions mirrors the paper's experimental configuration.
@@ -90,6 +97,11 @@ func (o Options) analyze(a *Matrix) *core.Symbolic {
 type Factorization struct {
 	sym  *core.Symbolic
 	fact *core.Factorization
+
+	// hostWorkers is the factor-phase worker count the factorization was
+	// created with; Refactorize reuses it so a parallel handle stays
+	// parallel across numeric refreshes.
+	hostWorkers int
 
 	// Pattern fingerprint of the factorized matrix (structure hash and
 	// nonzero count), kept so Refactorize can reject a matrix with a
@@ -147,6 +159,21 @@ func Factorize(a *Matrix, o Options) (*Factorization, error) {
 	return an.FactorizeWith(a)
 }
 
+// FactorizeHostParallel is Factorize with the numeric phase spread over the
+// machine's cores: the Factor(k)/Update(k,j) task DAG runs on
+// o.HostWorkers goroutines (runtime.NumCPU() when unset) with the paper's
+// dependence properties enforced by atomic counters, and all updates into one
+// block column serialized in ascending source order. That chain serialization
+// fixes the floating-point accumulation order, so the parallel factors are
+// bit-identical to the sequential Factorize's — determinism is part of the
+// contract, not a tolerance.
+func FactorizeHostParallel(a *Matrix, o Options) (*Factorization, error) {
+	if o.HostWorkers <= 0 {
+		o.HostWorkers = core.DefaultHostWorkers()
+	}
+	return Factorize(a, o)
+}
+
 // Refactorize reuses the symbolic analysis to factorize a matrix with the
 // same nonzero pattern but new values — the cheap path for time-stepping
 // applications that repeatedly solve evolving systems. A matrix whose
@@ -162,7 +189,7 @@ func (f *Factorization) Refactorize(a *Matrix) error {
 	if a.Nnz() != f.patNnz || patternHash(a) != f.patHash {
 		return fmt.Errorf("sstar: refactorize pattern mismatch: matrix has %d nonzeros in a different structure than the factorized pattern (%d nonzeros)", a.Nnz(), f.patNnz)
 	}
-	fact, err := core.FactorizeSeq(a, f.sym)
+	fact, err := core.FactorizeHost(a, f.sym, f.hostWorkers)
 	if err != nil {
 		return err
 	}
