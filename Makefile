@@ -1,7 +1,7 @@
 GO ?= go
 SERVE_ADDR ?= 127.0.0.1:7071
 
-.PHONY: check build test race bench-kernels benchpar serve loadtest
+.PHONY: check build test race bench-kernels benchpar serve loadtest trace
 
 check: ## gofmt + vet + build + tests + race detector (CI gate)
 	sh scripts/check.sh
@@ -13,13 +13,17 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race . ./internal/machine ./internal/core ./internal/xblas ./internal/server ./client
+	$(GO) test -race . ./internal/machine ./internal/core ./internal/xblas ./internal/server ./internal/obs ./client
 
 bench-kernels: ## regenerate the tracked kernel benchmark report
 	$(GO) run ./cmd/sstar-bench -experiment kernels -out BENCH_kernels.json
 
 benchpar: ## regenerate the tracked host-parallel factorization speedup report
 	$(GO) run ./cmd/sstar-bench -experiment hostpar -out BENCH_hostpar.json
+
+trace: ## record a Chrome trace of a small parallel factorization and validate it
+	$(GO) run ./cmd/sstar-bench -trace trace.json -matrix jpwh991 -scale 0.5 -procs 4
+	$(GO) run ./scripts/checktrace trace.json
 
 serve: ## run the sparse-solve service on $(SERVE_ADDR)
 	$(GO) run ./cmd/sstar-serve -tcp $(SERVE_ADDR)

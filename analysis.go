@@ -54,13 +54,14 @@ func (an *Analysis) FactorizeWith(a *Matrix) (*Factorization, error) {
 	if !an.pat.EqualCSR(a) {
 		return nil, fmt.Errorf("sstar: FactorizeWith: matrix pattern differs from the analyzed pattern (%d vs %d nonzeros)", a.Nnz(), an.pat.Nnz())
 	}
-	fact, err := core.FactorizeHost(a, an.sym, an.opts.HostWorkers)
+	fact, err := core.FactorizeHostObs(a, an.sym, an.opts.HostWorkers, sinkFor(an.opts.Observer))
 	if err != nil {
 		return nil, err
 	}
 	return &Factorization{
 		sym: an.sym, fact: fact,
 		hostWorkers: an.opts.HostWorkers,
+		observer:    an.opts.Observer,
 		patHash:     patternHash(a), patNnz: a.Nnz(),
 	}, nil
 }
@@ -117,8 +118,9 @@ func patternHash(a *Matrix) uint64 {
 // matrix that hashes to it (after an exact pattern check to rule out the
 // astronomically unlikely collision). Options that cannot change the
 // analysis or the factors (HostWorkers: the parallel factors are
-// bit-identical to sequential) are deliberately excluded, so one cached
-// Analysis serves requests at any parallelism level.
+// bit-identical to sequential; Observer: observation never changes numeric
+// results) are deliberately excluded, so one cached Analysis serves
+// requests at any parallelism or observation level.
 func StructureKey(a *Matrix, o Options) uint64 {
 	h := fnv.New64a()
 	var b [8]byte

@@ -11,9 +11,15 @@
 //	_, _ = h.Refactorize(newValues)                      // values-only fast path, same pattern
 //	h.Free()
 //	c.Close()
+//
+// Every method has a context-aware twin (FactorizeCtx, SolveCtx, ...) whose
+// deadline and cancellation propagate into the framed round trip; the plain
+// methods are the twins with context.Background(). Client.Metrics reports
+// the client's own request/error/dial counters.
 package client
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -53,6 +59,8 @@ type Client struct {
 	mu     sync.Mutex
 	idle   []net.Conn
 	closed bool
+
+	met clientMetrics
 }
 
 // Dial returns a client for the service at addr ("tcp", "host:port" or
@@ -80,6 +88,7 @@ func Dial(network, addr string, opts ...Option) (*Client, error) {
 
 // dial opens and handshakes a fresh connection.
 func (c *Client) dial() (net.Conn, error) {
+	c.met.dials.Add(1)
 	conn, err := net.DialTimeout(c.network, c.addr, c.dialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("client: dial %s %s: %w", c.network, c.addr, err)
@@ -111,6 +120,7 @@ func (c *Client) get() (net.Conn, error) {
 		conn := c.idle[n-1]
 		c.idle = c.idle[:n-1]
 		c.mu.Unlock()
+		c.met.reused.Add(1)
 		return conn, nil
 	}
 	c.mu.Unlock()
@@ -144,43 +154,17 @@ func (c *Client) Close() error {
 }
 
 // roundTrip sends one request and reads one response over a pooled
-// connection. Any transport error poisons the connection (it is dropped,
-// not pooled); a fresh request will dial anew.
+// connection, without a deadline. Any transport error poisons the
+// connection (it is dropped, not pooled); a fresh request will dial anew.
 func (c *Client) roundTrip(req *server.Request) (*server.Response, error) {
-	conn, err := c.get()
-	if err != nil {
-		return nil, err
-	}
-	if err := wire.WriteGob(conn, server.FrameRequest, req); err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("client: send: %w", err)
-	}
-	resp := new(server.Response)
-	if err := wire.ReadGob(conn, server.FrameResponse, c.maxFrame, resp); err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("client: receive: %w", err)
-	}
-	c.put(conn)
-	if resp.Err != "" {
-		return resp, fmt.Errorf("%s", resp.Err)
-	}
-	return resp, nil
+	return c.roundTripCtx(context.Background(), req)
 }
 
 // Ping checks liveness end to end.
-func (c *Client) Ping() error {
-	_, err := c.roundTrip(&server.Request{Op: server.OpPing})
-	return err
-}
+func (c *Client) Ping() error { return c.PingCtx(context.Background()) }
 
 // Stats fetches a snapshot of the server's counters.
-func (c *Client) Stats() (ServerStats, error) {
-	resp, err := c.roundTrip(&server.Request{Op: server.OpStats})
-	if err != nil {
-		return ServerStats{}, err
-	}
-	return resp.Server, nil
-}
+func (c *Client) Stats() (ServerStats, error) { return c.StatsCtx(context.Background()) }
 
 // Handle is a live factorization on the server.
 type Handle struct {
@@ -195,11 +179,7 @@ type Handle struct {
 // structure-keyed cache when a matrix with this pattern (and options) has
 // been seen before — stats.CacheHit reports which way it went.
 func (c *Client) Factorize(a *sstar.Matrix, o sstar.Options) (*Handle, RequestStats, error) {
-	resp, err := c.roundTrip(&server.Request{Op: server.OpFactorize, Matrix: a, Opts: o})
-	if err != nil {
-		return nil, RequestStats{}, err
-	}
-	return &Handle{c: c, id: resp.Handle, n: resp.N, nnz: resp.Nnz}, resp.Stats, nil
+	return c.FactorizeCtx(context.Background(), a, o)
 }
 
 // ID returns the server-side handle id.
@@ -214,11 +194,7 @@ func (h *Handle) Nnz() int { return h.nnz }
 
 // Solve solves A x = b with the handle's current factors.
 func (h *Handle) Solve(b []float64) ([]float64, RequestStats, error) {
-	resp, err := h.c.roundTrip(&server.Request{Op: server.OpSolve, Handle: h.id, B: b})
-	if err != nil {
-		return nil, RequestStats{}, err
-	}
-	return resp.X, resp.Stats, nil
+	return h.SolveCtx(context.Background(), b)
 }
 
 // Refactorize replaces the handle's factors with a factorization of the same
@@ -226,26 +202,15 @@ func (h *Handle) Solve(b []float64) ([]float64, RequestStats, error) {
 // analysis is re-run. values must list the new entries in the same CSR order
 // as the originally submitted matrix (length Nnz).
 func (h *Handle) Refactorize(values []float64) (RequestStats, error) {
-	resp, err := h.c.roundTrip(&server.Request{Op: server.OpRefactorize, Handle: h.id, Values: values})
-	if err != nil {
-		return RequestStats{}, err
-	}
-	return resp.Stats, nil
+	return h.RefactorizeCtx(context.Background(), values)
 }
 
 // RefactorizeMatrix is the full-matrix form of Refactorize for callers that
 // hold a CSR anyway; the server rejects a pattern differing from the
 // handle's.
 func (h *Handle) RefactorizeMatrix(a *sstar.Matrix) (RequestStats, error) {
-	resp, err := h.c.roundTrip(&server.Request{Op: server.OpRefactorize, Handle: h.id, Matrix: a})
-	if err != nil {
-		return RequestStats{}, err
-	}
-	return resp.Stats, nil
+	return h.RefactorizeMatrixCtx(context.Background(), a)
 }
 
 // Free releases the server-side factorization.
-func (h *Handle) Free() error {
-	_, err := h.c.roundTrip(&server.Request{Op: server.OpFree, Handle: h.id})
-	return err
-}
+func (h *Handle) Free() error { return h.FreeCtx(context.Background()) }

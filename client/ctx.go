@@ -1,0 +1,187 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"sstar"
+	"sstar/internal/server"
+	"sstar/internal/wire"
+)
+
+// clientMetrics is the client's own counter block (see Metrics).
+type clientMetrics struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+	canceled atomic.Int64
+	dials    atomic.Int64
+	reused   atomic.Int64
+}
+
+// Metrics is a snapshot of the client's local counters — the client-side
+// complement of the server's RequestStats/ServerStats: how many round trips
+// this process issued, how they ended, and how well the connection pool is
+// reusing connections (Dials much larger than expected means the pool is
+// churning: connections poisoned by errors or cancellations, or maxIdle too
+// small for the concurrency level).
+type Metrics struct {
+	Requests int64 // round trips attempted
+	Errors   int64 // round trips that failed (transport or in-band server error)
+	Canceled int64 // round trips ended by context cancellation or deadline
+	Dials    int64 // fresh connections dialed (including the eager Dial handshake)
+	Reused   int64 // round trips served by a pooled connection
+}
+
+// Metrics returns a snapshot of the client's counters. Safe to call
+// concurrently with requests.
+func (c *Client) Metrics() Metrics {
+	return Metrics{
+		Requests: c.met.requests.Load(),
+		Errors:   c.met.errors.Load(),
+		Canceled: c.met.canceled.Load(),
+		Dials:    c.met.dials.Load(),
+		Reused:   c.met.reused.Load(),
+	}
+}
+
+// roundTripCtx is roundTrip with the context's deadline and cancellation
+// propagated into the framed round trip: the context deadline becomes the
+// connection's I/O deadline, and a cancellation mid-flight forces the
+// blocked read/write to fail promptly. A connection whose request was
+// cancelled is closed, never pooled — the response still in flight on it
+// can't be matched to a later request.
+func (c *Client) roundTripCtx(ctx context.Context, req *server.Request) (*server.Response, error) {
+	c.met.requests.Add(1)
+	resp, err := c.doRoundTrip(ctx, req)
+	if err != nil {
+		c.met.errors.Add(1)
+		if ctx.Err() != nil {
+			c.met.canceled.Add(1)
+		}
+	}
+	return resp, err
+}
+
+func (c *Client) doRoundTrip(ctx context.Context, req *server.Request) (*server.Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	conn, err := c.get()
+	if err != nil {
+		return nil, err
+	}
+	// Deadline propagation: the context deadline bounds both frames, and an
+	// asynchronous cancel moves the deadline into the past so a blocked
+	// Read/Write returns immediately with a timeout.
+	var stop func() bool
+	if ctx.Done() != nil {
+		if d, ok := ctx.Deadline(); ok {
+			conn.SetDeadline(d)
+		}
+		stop = context.AfterFunc(ctx, func() {
+			conn.SetDeadline(time.Unix(1, 0))
+		})
+	}
+	// ctxErr prefers the context's error over the transport error it caused.
+	ctxErr := func(op string, err error) error {
+		if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("client: %s: %w", op, cerr)
+		}
+		return fmt.Errorf("client: %s: %w", op, err)
+	}
+	if err := wire.WriteGob(conn, server.FrameRequest, req); err != nil {
+		if stop != nil {
+			stop()
+		}
+		conn.Close()
+		return nil, ctxErr("send", err)
+	}
+	resp := new(server.Response)
+	if err := wire.ReadGob(conn, server.FrameResponse, c.maxFrame, resp); err != nil {
+		if stop != nil {
+			stop()
+		}
+		conn.Close()
+		return nil, ctxErr("receive", err)
+	}
+	if stop != nil {
+		if !stop() {
+			// The cancel fired after the response landed: the result is
+			// valid, but the AfterFunc may be poisoning the deadline
+			// concurrently, so the connection cannot be trusted to the pool.
+			conn.Close()
+		} else {
+			conn.SetDeadline(time.Time{})
+			c.put(conn)
+		}
+	} else {
+		c.put(conn)
+	}
+	if resp.Err != "" {
+		return resp, fmt.Errorf("%s", resp.Err)
+	}
+	return resp, nil
+}
+
+// PingCtx is Ping bounded by ctx.
+func (c *Client) PingCtx(ctx context.Context) error {
+	_, err := c.roundTripCtx(ctx, &server.Request{Op: server.OpPing})
+	return err
+}
+
+// StatsCtx is Stats bounded by ctx.
+func (c *Client) StatsCtx(ctx context.Context) (ServerStats, error) {
+	resp, err := c.roundTripCtx(ctx, &server.Request{Op: server.OpStats})
+	if err != nil {
+		return ServerStats{}, err
+	}
+	return resp.Server, nil
+}
+
+// FactorizeCtx is Factorize bounded by ctx: the deadline covers the matrix
+// transfer, the server-side queue wait and factorization, and the response.
+// Options.Observer is a local-process hook and is stripped before the
+// options go on the wire (the server runs its own instrumentation).
+func (c *Client) FactorizeCtx(ctx context.Context, a *sstar.Matrix, o sstar.Options) (*Handle, RequestStats, error) {
+	o.Observer = nil
+	resp, err := c.roundTripCtx(ctx, &server.Request{Op: server.OpFactorize, Matrix: a, Opts: o})
+	if err != nil {
+		return nil, RequestStats{}, err
+	}
+	return &Handle{c: c, id: resp.Handle, n: resp.N, nnz: resp.Nnz}, resp.Stats, nil
+}
+
+// SolveCtx is Solve bounded by ctx.
+func (h *Handle) SolveCtx(ctx context.Context, b []float64) ([]float64, RequestStats, error) {
+	resp, err := h.c.roundTripCtx(ctx, &server.Request{Op: server.OpSolve, Handle: h.id, B: b})
+	if err != nil {
+		return nil, RequestStats{}, err
+	}
+	return resp.X, resp.Stats, nil
+}
+
+// RefactorizeCtx is Refactorize bounded by ctx.
+func (h *Handle) RefactorizeCtx(ctx context.Context, values []float64) (RequestStats, error) {
+	resp, err := h.c.roundTripCtx(ctx, &server.Request{Op: server.OpRefactorize, Handle: h.id, Values: values})
+	if err != nil {
+		return RequestStats{}, err
+	}
+	return resp.Stats, nil
+}
+
+// RefactorizeMatrixCtx is RefactorizeMatrix bounded by ctx.
+func (h *Handle) RefactorizeMatrixCtx(ctx context.Context, a *sstar.Matrix) (RequestStats, error) {
+	resp, err := h.c.roundTripCtx(ctx, &server.Request{Op: server.OpRefactorize, Handle: h.id, Matrix: a})
+	if err != nil {
+		return RequestStats{}, err
+	}
+	return resp.Stats, nil
+}
+
+// FreeCtx is Free bounded by ctx.
+func (h *Handle) FreeCtx(ctx context.Context) error {
+	_, err := h.c.roundTripCtx(ctx, &server.Request{Op: server.OpFree, Handle: h.id})
+	return err
+}

@@ -1,0 +1,203 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"sstar"
+	"sstar/client"
+	"sstar/internal/server"
+	"sstar/internal/wire"
+)
+
+// startSilentServer accepts connections and completes the protocol
+// handshake, then reads requests and never answers — the worst case a
+// deadline must cut through.
+func startSilentServer(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				var hello server.Hello
+				if err := wire.ReadGob(conn, server.FrameHello, 1<<16, &hello); err != nil {
+					return
+				}
+				if err := wire.WriteGob(conn, server.FrameHello, server.Hello{Magic: server.ProtoMagic, Version: server.ProtoVersion}); err != nil {
+					return
+				}
+				// Swallow requests forever.
+				for {
+					req := new(server.Request)
+					if err := wire.ReadGob(conn, server.FrameRequest, 1<<30, req); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return l.Addr().String()
+}
+
+// TestCtxDeadlineCutsStalledRequest: a deadline must unblock a round trip
+// stuck on a server that never answers, promptly and with the context's
+// error.
+func TestCtxDeadlineCutsStalledRequest(t *testing.T) {
+	addr := startSilentServer(t)
+	c, err := client.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	err = c.PingCtx(ctx)
+	elapsed := time.Since(t0)
+	if err == nil {
+		t.Fatal("ping against a silent server succeeded")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("deadline took %v to cut the request", elapsed)
+	}
+	m := c.Metrics()
+	if m.Canceled != 1 {
+		t.Fatalf("Canceled = %d, want 1 (metrics %+v)", m.Canceled, m)
+	}
+}
+
+// TestCtxCancelMidFlight: an asynchronous cancel (no deadline on the
+// connection at all) must also unblock a stalled round trip.
+func TestCtxCancelMidFlight(t *testing.T) {
+	addr := startSilentServer(t)
+	c, err := client.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	if err := c.PingCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v, want context.Canceled", err)
+	}
+}
+
+// TestCtxAlreadyCanceled: a dead context fails before any I/O happens.
+func TestCtxAlreadyCanceled(t *testing.T) {
+	addr := startServer(t, server.Config{Workers: 1})
+	c, err := client.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := c.PingCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v, want context.Canceled", err)
+	}
+}
+
+// TestCtxRoundTripsAndClientMetrics: the Ctx variants work end to end
+// against a real server, a generous deadline never interferes, and the
+// client's own counters add up.
+func TestCtxRoundTripsAndClientMetrics(t *testing.T) {
+	addr := startServer(t, server.Config{Workers: 2})
+	c, err := client.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	a := sstar.GenGrid2D(7, 7, false, sstar.GenOptions{Seed: 21})
+	h, st, err := c.FactorizeCtx(ctx, a, sstar.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CacheHit {
+		t.Fatal("first factorize hit the cache")
+	}
+	b := make([]float64, a.N)
+	b[0] = 1
+	x, _, err := h.SolveCtx(ctx, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := sstar.Residual(a, x, b); r > 1e-9 {
+		t.Fatalf("residual %g", r)
+	}
+	vals := append([]float64(nil), a.Val...)
+	for i := range vals {
+		vals[i] *= 3
+	}
+	if _, err := h.RefactorizeCtx(ctx, vals); err != nil {
+		t.Fatal(err)
+	}
+	a2 := a.Clone()
+	copy(a2.Val, vals)
+	if _, err := h.RefactorizeMatrixCtx(ctx, a2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.StatsCtx(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.FreeCtx(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	m := c.Metrics()
+	if m.Requests != 6 {
+		t.Fatalf("Requests = %d, want 6 (metrics %+v)", m.Requests, m)
+	}
+	if m.Errors != 0 || m.Canceled != 0 {
+		t.Fatalf("unexpected failures in %+v", m)
+	}
+	if m.Dials < 1 {
+		t.Fatalf("Dials = %d, want >= 1", m.Dials)
+	}
+	if m.Reused < 5 {
+		t.Fatalf("Reused = %d, want >= 5 (sequential requests share one pooled connection)", m.Reused)
+	}
+}
+
+// TestCtxObserverStrippedBeforeWire: a non-nil Options.Observer must not
+// reach gob encoding (it would fail: the interface type is unregistered) —
+// FactorizeCtx strips it.
+func TestCtxObserverStrippedBeforeWire(t *testing.T) {
+	addr := startServer(t, server.Config{Workers: 1})
+	c, err := client.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	o := sstar.DefaultOptions()
+	o.Observer = sstar.NewTrace(0)
+	a := sstar.GenGrid2D(6, 6, false, sstar.GenOptions{Seed: 22})
+	h, _, err := c.Factorize(a, o)
+	if err != nil {
+		t.Fatalf("factorize with local observer failed: %v", err)
+	}
+	h.Free()
+}

@@ -9,6 +9,7 @@
 //	sstar-bench -experiment kernels             # kernel GFLOP/s -> BENCH_kernels.json
 //	sstar-bench -experiment hostpar             # wall-clock parallel factorization speedup -> BENCH_hostpar.json
 //	sstar-bench -experiment hostpar -procs 1,2,4,8,16   # custom worker sweep
+//	sstar-bench -trace out.json -matrix goodwin -procs 8  # Chrome trace of one run
 //
 // Experiments: kernels hostpar table1 table2 table3 table4 table5 table6
 // table7 fig16 fig17 fig18 ablations all.
@@ -18,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -32,11 +34,28 @@ func main() {
 		bsize      = flag.Int("bsize", 25, "supernode panel width (paper: 25)")
 		amalg      = flag.Int("r", 4, "amalgamation factor (paper: 4-6)")
 		procsFlag  = flag.String("procs", "", "comma-separated processor counts (default: per-experiment paper values)")
-		matrix     = flag.String("matrix", "goodwin", "matrix for the ablation sweeps")
+		matrix     = flag.String("matrix", "goodwin", "matrix for the ablation sweeps and -trace runs")
 		out        = flag.String("out", "", "output path for the kernels/hostpar reports (default BENCH_<experiment>.json)")
+		trace      = flag.String("trace", "", "trace one host-parallel factorization of -matrix and write Chrome trace JSON to this file, then exit")
 	)
 	flag.Parse()
 	cfg := bench.Config{Scale: *scale, BSize: *bsize, Amalg: *amalg}
+
+	if *trace != "" {
+		workers := runtime.NumCPU()
+		if *procsFlag != "" {
+			if v, err := strconv.Atoi(strings.TrimSpace(strings.Split(*procsFlag, ",")[0])); err == nil && v > 0 {
+				workers = v
+			}
+		}
+		sum, err := bench.TraceRun(cfg, *matrix, workers, *trace)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("traced %s (n=%d nnz=%d): %d tasks on %d workers in %.3fs, %d spans -> %s (%d dropped)\n",
+			sum.Matrix, sum.Order, sum.Nnz, sum.Tasks, sum.Workers, sum.Seconds, sum.Spans, sum.Path, sum.Dropped)
+		return
+	}
 
 	parseProcs := func(def []int) []int {
 		if *procsFlag == "" {

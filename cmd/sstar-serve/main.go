@@ -9,6 +9,12 @@
 //	sstar-serve -unix /tmp/sstar.sock             # serve a Unix socket
 //	sstar-serve -tcp :7071 -unix /tmp/sstar.sock  # both at once
 //	sstar-serve -tcp :7071 -workers 8 -cache 128  # bigger pool and cache
+//	sstar-serve -tcp :7071 -admin :8080           # + HTTP admin listener
+//
+// The admin listener serves Prometheus metrics on /metrics, the most recent
+// request spans as Chrome trace JSON on /debug/trace, and the Go profiling
+// endpoints under /debug/pprof. It speaks plain HTTP with no auth — bind it
+// to localhost or a private interface.
 //
 // The server runs until SIGINT/SIGTERM, then shuts down cleanly.
 package main
@@ -18,6 +24,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -32,6 +39,7 @@ func main() {
 		workers  = flag.Int("workers", 4, "concurrent factorize/solve workers")
 		factorW  = flag.Int("factor-workers", 0, "goroutines per numeric factor phase; 0 = NumCPU/workers (core split)")
 		cache    = flag.Int("cache", 64, "analysis cache capacity (structures)")
+		admin    = flag.String("admin", "", "HTTP admin listen address (/metrics, /debug/trace, /debug/pprof); empty disables")
 		quiet    = flag.Bool("quiet", false, "suppress per-event logging")
 	)
 	flag.Parse()
@@ -64,6 +72,19 @@ func main() {
 	if *unixPath != "" {
 		os.Remove(*unixPath) // a stale socket from a previous run
 		go serve("unix", *unixPath)
+	}
+	if *admin != "" {
+		al, err := net.Listen("tcp", *admin)
+		if err != nil {
+			log.Fatalf("sstar-serve: admin listener: %v", err)
+		}
+		defer al.Close()
+		log.Printf("sstar-serve: admin HTTP on %s (/metrics, /debug/trace, /debug/pprof)", al.Addr())
+		go func() {
+			if err := http.Serve(al, s.AdminHandler()); err != nil {
+				log.Printf("sstar-serve: admin listener: %v", err)
+			}
+		}()
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -7,6 +7,14 @@
 //
 //	sstar-solve -file m.mtx
 //	sstar-solve -gen goodwin -scale 0.5 -mapping 2d -p 16 -machine t3e
+//	sstar-solve -gen goodwin -workers 8 -trace out.json
+//
+// -trace FILE records the run through the library's Observer hook and
+// writes a Chrome trace_event JSON timeline (open in chrome://tracing or
+// https://ui.perfetto.dev): the analyze/factor/solve phases, and with
+// -workers > 1 one lane per executor worker showing every Factor(k) and
+// Update(k,j) task of the numeric DAG. With a virtual-machine mapping it
+// additionally records per-processor utilization, summarized on stdout.
 package main
 
 import (
@@ -31,8 +39,9 @@ func main() {
 		mach    = flag.String("machine", "t3e", "virtual machine model: t3d | t3e")
 		bsize   = flag.Int("bsize", 25, "supernode panel width")
 		amalg   = flag.Int("r", 4, "amalgamation factor")
+		workers = flag.Int("workers", 0, "host goroutines for the numeric factor phase (seq mapping; 0 = sequential)")
 		ones    = flag.Bool("ones", false, "use b = A*1 instead of a random rhs (exact solution all ones)")
-		trace   = flag.Bool("trace", false, "record and summarize per-processor utilization (parallel mappings)")
+		trace   = flag.String("trace", "", "write a Chrome trace JSON timeline of the run to this file")
 		btf     = flag.Bool("btf", false, "factor through the block upper triangular decomposition (sequential only)")
 	)
 	flag.Parse()
@@ -82,6 +91,12 @@ func main() {
 	opts := sstar.DefaultOptions()
 	opts.BlockSize = *bsize
 	opts.Amalgamate = *amalg
+	opts.HostWorkers = *workers
+	var tr *sstar.Trace
+	if *trace != "" {
+		tr = sstar.NewTrace(0)
+		opts.Observer = tr
+	}
 
 	if *btf {
 		start := time.Now()
@@ -96,6 +111,12 @@ func main() {
 		fmt.Printf("BTF: %d irreducible blocks, %.0f%% of the matrix factored, wall-clock %v\n",
 			bf.NumBlocks(), 100*bf.FactoredFraction(), time.Since(start).Round(time.Microsecond))
 		fmt.Printf("residual ||Ax-b||/(||A|| ||x|| + ||b||): %.3e\n", sstar.Residual(a, x, b))
+		if tr != nil {
+			if err := writeTrace(*trace, tr); err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Printf("trace: %d spans -> %s (%d dropped)\n", tr.Len(), *trace, tr.Dropped())
+		}
 		return
 	}
 
@@ -113,7 +134,7 @@ func main() {
 			Procs:   *procs,
 			Machine: sstar.MachineName(*mach),
 			Mapping: sstar.Mapping(*mapping),
-			Trace:   *trace,
+			Trace:   *trace != "",
 		})
 	}
 	if err != nil {
@@ -139,6 +160,12 @@ func main() {
 		}
 	}
 	fmt.Printf("residual ||Ax-b||/(||A|| ||x|| + ||b||): %.3e\n", sstar.Residual(a, x, b))
+	if tr != nil {
+		if err := writeTrace(*trace, tr); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("trace: %d spans -> %s (%d dropped)\n", tr.Len(), *trace, tr.Dropped())
+	}
 	if xTrue != nil {
 		maxErr := 0.0
 		for i := range x {
@@ -150,6 +177,19 @@ func main() {
 		}
 		fmt.Printf("max error vs exact ones solution: %.3e\n", maxErr)
 	}
+}
+
+// writeTrace dumps the recorded timeline as Chrome trace JSON.
+func writeTrace(path string, tr *sstar.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // isHB guesses Harwell-Boeing input from the file suffix.

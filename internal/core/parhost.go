@@ -4,7 +4,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"sstar/internal/obs"
 	"sstar/internal/sparse"
 	"sstar/internal/supernode"
 	"sstar/internal/taskgraph"
@@ -39,8 +41,31 @@ import (
 // workers <= 1 falls back to the sequential driver. Each worker owns a
 // pre-sized Workspace, so the steady state allocates nothing.
 func FactorizeHost(a *sparse.CSR, sym *Symbolic, workers int) (*Factorization, error) {
+	return FactorizeHostObs(a, sym, workers, nil)
+}
+
+// FactorizeHostObs is FactorizeHost with optional instrumentation: when
+// sink is non-nil, every Factor(k)/Update(k,j) task is timed and reported
+// with the worker that ran it — the raw material of the Chrome-trace
+// pipeline-overlap timeline — and the whole numeric phase is reported as one
+// Phase event. A nil sink compiles down to pointer checks: no clocks are
+// read, nothing allocates, and the factors are bit-identical either way
+// (instrumentation never touches numeric state).
+func FactorizeHostObs(a *sparse.CSR, sym *Symbolic, workers int, sink obs.Sink) (*Factorization, error) {
+	var t0 time.Time
+	if sink != nil {
+		t0 = time.Now()
+	}
+	fact, err := factorizeHostObs(a, sym, workers, sink)
+	if sink != nil && err == nil {
+		sink.Phase(obs.PhaseFactor, time.Since(t0).Nanoseconds())
+	}
+	return fact, err
+}
+
+func factorizeHostObs(a *sparse.CSR, sym *Symbolic, workers int, sink obs.Sink) (*Factorization, error) {
 	if workers <= 1 {
-		return FactorizeSeq(a, sym)
+		return factorizeSeqObs(a, sym, sink)
 	}
 	work := sym.PermutedMatrix(a)
 	bm := supernode.NewBlockMatrix(sym.Partition, work)
@@ -65,6 +90,7 @@ func FactorizeHost(a *sparse.CSR, sym *Symbolic, workers int) (*Factorization, e
 		deps:      g.InDegrees(),
 		blevel:    blevel,
 		remaining: int32(len(g.Tasks)),
+		sink:      sink,
 	}
 	run.cond = sync.NewCond(&run.mu)
 	for id, d := range run.deps {
@@ -80,10 +106,10 @@ func FactorizeHost(a *sparse.CSR, sym *Symbolic, workers int) (*Factorization, e
 		ws := NewWorkspace(bm)
 		spaces[w] = ws
 		wg.Add(1)
-		go func() {
+		go func(worker int32) {
 			defer wg.Done()
-			run.work(bm, piv, tol, ws)
-		}()
+			run.work(bm, piv, tol, ws, worker)
+		}(int32(w))
 	}
 	wg.Wait()
 	if run.err != nil {
@@ -111,11 +137,12 @@ type hostRun struct {
 	remaining int32
 	err       error
 	aborted   bool
+	sink      obs.Sink
 }
 
 // work is one worker's loop: pop the highest-priority ready task, execute it,
 // release the successors whose dependence counters hit zero.
-func (r *hostRun) work(bm *supernode.BlockMatrix, piv []int32, tol float64, ws *Workspace) {
+func (r *hostRun) work(bm *supernode.BlockMatrix, piv []int32, tol float64, ws *Workspace, worker int32) {
 	for {
 		r.mu.Lock()
 		for len(r.ready.ids) == 0 && !r.aborted && r.remaining > 0 {
@@ -129,11 +156,23 @@ func (r *hostRun) work(bm *supernode.BlockMatrix, piv []int32, tol float64, ws *
 		r.mu.Unlock()
 
 		t := r.g.Tasks[id]
+		var t0 time.Time
+		if r.sink != nil {
+			t0 = time.Now()
+		}
 		var err error
 		if t.Kind == taskgraph.KindFactor {
 			err = FactorPanel(bm, t.K, piv, tol, ws)
 		} else {
 			UpdatePanelPair(bm, t.K, t.J, piv, ws)
+		}
+		if r.sink != nil {
+			kind := obs.KindFactor
+			if t.Kind == taskgraph.KindUpdate {
+				kind = obs.KindUpdate
+			}
+			r.sink.Task(obs.TaskEvent{Kind: kind, K: int32(t.K), J: int32(t.J), Worker: worker,
+				StartNs: t0.UnixNano(), DurNs: time.Since(t0).Nanoseconds()})
 		}
 		if err != nil {
 			r.mu.Lock()

@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"time"
 
+	"sstar/internal/obs"
 	"sstar/internal/ordering"
 	"sstar/internal/sparse"
 	"sstar/internal/supernode"
@@ -27,6 +29,9 @@ type Symbolic struct {
 	// partial pivoting. The static structure is a valid bound for every
 	// threshold because it already covers all pivot choices.
 	PivotTol float64
+	// Phases is the analyze-phase cost split, recorded once at
+	// construction.
+	Phases PhaseTimes
 }
 
 // pivotTol normalizes the threshold.
@@ -47,19 +52,46 @@ type AnalyzeOptions struct {
 	// paper's multiple minimum degree on A^T A, the default) or "colmmd"
 	// (column minimum degree computed directly on A, COLMMD-style).
 	Ordering string
+	// Obs, when non-nil, receives one Phase event per analyze stage
+	// (ordering, symbolic, partition). Nil disables all timing work.
+	Obs obs.Sink
+}
+
+// PhaseTimes records where the analyze phase spent its time, in
+// nanoseconds. It is filled at Symbolic construction and immutable after,
+// so sharing a Symbolic across concurrent factorizations stays safe.
+type PhaseTimes struct {
+	OrderingNs  int64
+	SymbolicNs  int64
+	PartitionNs int64
 }
 
 // Analyze runs the S* preprocessing pipeline on a: Duff's maximum transversal
 // for a zero-free diagonal, minimum-degree ordering of A^T A, the George–Ng
-// static symbolic factorization and the 2D L/U supernode partition.
+// static symbolic factorization and the 2D L/U supernode partition. Phase
+// timings land in the returned Symbolic's Phases and, when o.Obs is set, are
+// reported through the sink as they complete.
 func Analyze(a *sparse.CSR, o AnalyzeOptions) *Symbolic {
 	n := a.N
 	sym := &Symbolic{N: n}
+	// phase wraps one analyze stage with timing; with no sink attached the
+	// clock is still read (analyze runs once per structure, far off any hot
+	// path) so Symbolic.Phases is always populated.
+	phase := func(name string, ns *int64, f func()) {
+		t0 := time.Now()
+		f()
+		*ns = time.Since(t0).Nanoseconds()
+		if o.Obs != nil {
+			o.Obs.Phase(name, *ns)
+		}
+	}
 	work := a
-	if o.SkipOrdering {
-		sym.RowPerm = sparse.IdentityPerm(n)
-		sym.ColPerm = sparse.IdentityPerm(n)
-	} else {
+	phase(obs.PhaseOrdering, &sym.Phases.OrderingNs, func() {
+		if o.SkipOrdering {
+			sym.RowPerm = sparse.IdentityPerm(n)
+			sym.ColPerm = sparse.IdentityPerm(n)
+			return
+		}
 		rp, _ := ordering.MaxTransversal(a)
 		work = a.PermuteRows(rp)
 		var cp []int
@@ -76,9 +108,13 @@ func Analyze(a *sparse.CSR, o AnalyzeOptions) *Symbolic {
 		work = work.Permute(cp, cp)
 		sym.RowPerm = composePerm(rp, cp)
 		sym.ColPerm = cp
-	}
-	sym.Static = symbolic.Factorize(sparse.PatternOf(work))
-	sym.Partition = supernode.NewPartition(sym.Static, o.Supernode)
+	})
+	phase(obs.PhaseSymbolic, &sym.Phases.SymbolicNs, func() {
+		sym.Static = symbolic.Factorize(sparse.PatternOf(work))
+	})
+	phase(obs.PhasePartition, &sym.Phases.PartitionNs, func() {
+		sym.Partition = supernode.NewPartition(sym.Static, o.Supernode)
+	})
 	return sym
 }
 
@@ -112,17 +148,40 @@ type Factorization struct {
 // FactorizeSeq runs the sequential S* numeric factorization (Fig. 6): for
 // each block column, Factor(k) then Update(k, j) for every nonzero U_kj.
 func FactorizeSeq(a *sparse.CSR, sym *Symbolic) (*Factorization, error) {
+	return factorizeSeqObs(a, sym, nil)
+}
+
+// factorizeSeqObs is FactorizeSeq with optional task tracing: when sink is
+// non-nil every Factor/Update task is timed and reported (worker 0). The
+// instrumentation only changes when clocks are read, never the numeric
+// work, so traced and untraced factors are bit-identical.
+func factorizeSeqObs(a *sparse.CSR, sym *Symbolic, sink obs.Sink) (*Factorization, error) {
 	work := sym.PermutedMatrix(a)
 	bm := supernode.NewBlockMatrix(sym.Partition, work)
 	ws := NewWorkspace(bm)
 	piv := make([]int32, sym.N)
 	p := sym.Partition
 	for k := 0; k < p.NB; k++ {
+		var t0 time.Time
+		if sink != nil {
+			t0 = time.Now()
+		}
 		if err := FactorPanel(bm, k, piv, sym.pivotTol(), ws); err != nil {
 			return nil, err
 		}
+		if sink != nil {
+			sink.Task(obs.TaskEvent{Kind: obs.KindFactor, K: int32(k), J: int32(k),
+				StartNs: t0.UnixNano(), DurNs: time.Since(t0).Nanoseconds()})
+		}
 		for _, jb := range p.UBlocks[k] {
+			if sink != nil {
+				t0 = time.Now()
+			}
 			UpdatePanelPair(bm, k, int(jb), piv, ws)
+			if sink != nil {
+				sink.Task(obs.TaskEvent{Kind: obs.KindUpdate, K: int32(k), J: jb,
+					StartNs: t0.UnixNano(), DurNs: time.Since(t0).Nanoseconds()})
+			}
 		}
 	}
 	return &Factorization{Sym: sym, BM: bm, Piv: piv, Fl: ws.Fl}, nil

@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Event is one completed span on a recorder's timeline. Task events carry
+// Kind/K/J and synthesize their name ("F(12)", "U(3,7)") at dump time so
+// the hot recording path never formats strings; phase and request spans
+// carry a literal Name.
+type Event struct {
+	Name    string // literal span name; "" for task events
+	Cat     string // Chrome trace category ("phase", "factor", "update", "server", ...)
+	Kind    byte   // KindFactor/KindUpdate for task events, 0 otherwise
+	K, J    int32
+	TID     int32 // timeline lane: executor worker or server worker
+	StartNs int64 // offset from the tracer's t0, nanoseconds
+	DurNs   int64
+}
+
+// label renders the span name.
+func (e *Event) label() string {
+	switch {
+	case e.Name != "":
+		return e.Name
+	case e.Kind == KindFactor:
+		return fmt.Sprintf("F(%d)", e.K)
+	case e.Kind == KindUpdate:
+		return fmt.Sprintf("U(%d,%d)", e.K, e.J)
+	}
+	return "span"
+}
+
+// Tracer records completed spans into a fixed-capacity ring buffer: when
+// the ring is full the oldest events are overwritten and counted as
+// dropped, so a long-running server can keep a tracer attached permanently
+// and /debug/trace always returns the most recent window. Recording is one
+// short mutex-protected copy into the ring — no allocation, no I/O — cheap
+// enough to leave on around every Factor/Update task. A nil *Tracer is a
+// valid disabled tracer: every method nil-checks and returns.
+//
+// Tracer implements Sink, so it can be handed directly to the core
+// pipeline.
+type Tracer struct {
+	t0  time.Time
+	t0n int64 // t0.UnixNano(), for converting absolute task stamps
+
+	mu      sync.Mutex
+	ring    []Event
+	n       int64 // events ever emitted; ring slot is n % cap
+	dropped int64
+}
+
+// DefaultTraceEvents is the default ring capacity: enough for the full task
+// DAG of the paper's large matrices (tens of thousands of tasks) without
+// being a memory hazard when attached to a server for days.
+const DefaultTraceEvents = 1 << 16
+
+// NewTracer returns a tracer whose timeline starts now, with the given ring
+// capacity (DefaultTraceEvents when <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceEvents
+	}
+	now := time.Now()
+	return &Tracer{t0: now, t0n: now.UnixNano(), ring: make([]Event, 0, capacity)}
+}
+
+// Since returns nanoseconds elapsed on the tracer's timeline (0 on nil).
+func (t *Tracer) Since() int64 {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.t0).Nanoseconds()
+}
+
+// Emit records one span. No-op on nil.
+func (t *Tracer) Emit(ev Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, ev)
+	} else {
+		t.ring[t.n%int64(cap(t.ring))] = ev
+		t.dropped++
+	}
+	t.n++
+	t.mu.Unlock()
+}
+
+// Span records a completed span with a literal name.
+func (t *Tracer) Span(name, cat string, tid int, startNs, durNs int64) {
+	t.Emit(Event{Name: name, Cat: cat, TID: int32(tid), StartNs: startNs, DurNs: durNs})
+}
+
+// Phase implements Sink: the phase is assumed to have just ended, so its
+// span is placed at [now-ns, now] on the timeline.
+func (t *Tracer) Phase(name string, ns int64) {
+	if t == nil {
+		return
+	}
+	end := t.Since()
+	start := end - ns
+	if start < 0 {
+		start = 0
+	}
+	t.Emit(Event{Name: name, Cat: "phase", StartNs: start, DurNs: ns})
+}
+
+// Task implements Sink: the absolute task stamp is converted onto this
+// tracer's timeline.
+func (t *Tracer) Task(ev TaskEvent) {
+	if t == nil {
+		return
+	}
+	cat := "factor"
+	if ev.Kind == KindUpdate {
+		cat = "update"
+	}
+	t.Emit(Event{
+		Cat: cat, Kind: ev.Kind, K: ev.K, J: ev.J, TID: ev.Worker,
+		StartNs: ev.StartNs - t.t0n, DurNs: ev.DurNs,
+	})
+}
+
+// Events returns a chronological snapshot of the recorded window.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := append([]Event(nil), t.ring...)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].StartNs < out[j].StartNs })
+	return out
+}
+
+// Len returns the number of events currently held (<= capacity).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.ring)
+}
+
+// Dropped returns how many events were overwritten after the ring filled.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// WriteChromeTrace dumps the recorded window as a Chrome trace_event JSON
+// document (the "JSON object format": {"traceEvents": [...]}) loadable in
+// chrome://tracing or https://ui.perfetto.dev. Every span is a complete
+// "X" event; timestamps and durations are microseconds per the format;
+// lanes (tid) are the executor/server workers.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i, ev := range t.Events() {
+		sep := ","
+		if i == 0 {
+			sep = ""
+		}
+		// Durations are floored at 1µs so zero-length spans stay visible.
+		us := func(ns int64) float64 { return float64(ns) / 1e3 }
+		dur := us(ev.DurNs)
+		if dur < 1 {
+			dur = 1
+		}
+		if _, err := fmt.Fprintf(bw,
+			"%s{\"name\":%q,\"cat\":%q,\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%d,\"args\":{\"k\":%d,\"j\":%d}}\n",
+			sep, ev.label(), ev.Cat, us(ev.StartNs), dur, ev.TID, ev.K, ev.J); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

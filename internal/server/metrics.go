@@ -1,0 +1,136 @@
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+
+	"sstar/internal/obs"
+)
+
+// metrics bundles the server's observability surface: a Prometheus-style
+// registry over the server counters, per-request phase histograms, and a
+// ring-buffer tracer holding the most recent request spans for
+// /debug/trace. Created once per server; the scrape-time funcs read the
+// live server state so the counters are never double-maintained.
+type metrics struct {
+	reg    *obs.Registry
+	tracer *obs.Tracer
+
+	panics    *obs.Counter
+	queueWait *obs.Histogram
+	analyze   *obs.Histogram
+	factor    *obs.Histogram
+	solve     *obs.Histogram
+	request   *obs.Histogram
+}
+
+func newMetrics(s *Server) *metrics {
+	reg := obs.NewRegistry()
+	m := &metrics{reg: reg, tracer: obs.NewTracer(0)}
+
+	reg.CounterFunc("sstar_server_requests_total",
+		"Requests processed, all operations.",
+		func() float64 { return float64(s.requests.Load()) })
+	reg.CounterFunc("sstar_server_errors_total",
+		"Requests answered with an error.",
+		func() float64 { return float64(s.errors.Load()) })
+	m.panics = reg.Counter("sstar_server_panics_total",
+		"Request handlers recovered from a panic (each one failed a single request, never the server).")
+	reg.CounterFunc("sstar_server_factorize_total",
+		"Factorize requests.",
+		func() float64 { return float64(s.factorizes.Load()) })
+	reg.CounterFunc("sstar_server_refactorize_total",
+		"Refactorize requests.",
+		func() float64 { return float64(s.refactorizes.Load()) })
+	reg.CounterFunc("sstar_server_solve_total",
+		"Solve requests.",
+		func() float64 { return float64(s.solves.Load()) })
+	reg.CounterFunc("sstar_server_cache_hits_total",
+		"Analysis cache hits (factorize requests whose structure was already analyzed).",
+		func() float64 { hit, _, _ := s.cache.counters(); return float64(hit) })
+	reg.CounterFunc("sstar_server_cache_misses_total",
+		"Analysis cache misses.",
+		func() float64 { _, miss, _ := s.cache.counters(); return float64(miss) })
+	reg.GaugeFunc("sstar_server_cache_entries",
+		"Live cached analyses.",
+		func() float64 { _, _, n := s.cache.counters(); return float64(n) })
+	reg.GaugeFunc("sstar_server_handles",
+		"Live factorization handles.",
+		func() float64 {
+			s.mu.Lock()
+			n := len(s.handles)
+			s.mu.Unlock()
+			return float64(n)
+		})
+	reg.GaugeFunc("sstar_server_queue_depth",
+		"Requests waiting for a worker.",
+		func() float64 { return float64(len(s.jobs)) })
+	reg.GaugeFunc("sstar_server_workers",
+		"Request-level worker pool size.",
+		func() float64 { return float64(s.cfg.Workers) })
+	reg.GaugeFunc("sstar_server_factor_workers",
+		"Factor-phase goroutines per request (the core-split knob).",
+		func() float64 { return float64(s.cfg.FactorWorkers) })
+
+	m.queueWait = reg.Histogram("sstar_server_queue_wait_seconds",
+		"Time requests waited for a worker.")
+	m.analyze = reg.Histogram("sstar_server_analyze_seconds",
+		"Analyze-phase time of factorize requests (near zero on cache hits).")
+	m.factor = reg.Histogram("sstar_server_factor_seconds",
+		"Numeric factorization time of factorize/refactorize requests.")
+	m.solve = reg.Histogram("sstar_server_solve_seconds",
+		"Triangular-solve time of solve requests.")
+	m.request = reg.Histogram("sstar_server_request_seconds",
+		"End-to-end request processing time, queue wait excluded.")
+	return m
+}
+
+// observe records the phase split of one processed request and its span on
+// the request timeline (one lane per pool worker).
+func (m *metrics) observe(op Op, worker int, queueNs, processNs int64, st RequestStats) {
+	m.queueWait.ObserveNs(queueNs)
+	m.request.ObserveNs(processNs)
+	if st.AnalyzeNs > 0 {
+		m.analyze.ObserveNs(st.AnalyzeNs)
+	}
+	if st.FactorNs > 0 {
+		m.factor.ObserveNs(st.FactorNs)
+	}
+	if st.SolveNs > 0 {
+		m.solve.ObserveNs(st.SolveNs)
+	}
+	end := m.tracer.Since()
+	start := end - processNs
+	if start < 0 {
+		start = 0
+	}
+	m.tracer.Span(op.String(), "server", worker, start, processNs)
+}
+
+// AdminHandler returns the HTTP admin surface of the server, mounted by
+// sstar-serve's -admin listener:
+//
+//	/metrics      Prometheus text exposition of the server counters
+//	/debug/trace  recent request spans as Chrome trace_event JSON
+//	/debug/pprof  the standard Go profiling endpoints
+//
+// The handler holds no state of its own — it reads the live server — so it
+// can be mounted on any mux, wrapped with auth, or served from several
+// listeners at once.
+func (s *Server) AdminHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.met.reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		s.met.tracer.WriteChromeTrace(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

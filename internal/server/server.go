@@ -89,6 +89,7 @@ type Server struct {
 	jobs  chan *job
 	quit  chan struct{}
 	wg    sync.WaitGroup
+	met   *metrics
 
 	mu         sync.Mutex
 	handles    map[uint64]*handle
@@ -116,9 +117,10 @@ func New(cfg Config) *Server {
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[net.Conn]struct{}),
 	}
+	s.met = newMetrics(s)
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
-		go s.worker()
+		go s.worker(i)
 	}
 	return s
 }
@@ -239,13 +241,15 @@ func (s *Server) submit(req *Request) *Response {
 	}
 }
 
-func (s *Server) worker() {
+func (s *Server) worker(id int) {
 	defer s.wg.Done()
 	for {
 		select {
 		case j := <-s.jobs:
 			queueNs := time.Since(j.enqueued).Nanoseconds()
+			t0 := time.Now()
 			resp := s.process(j.req)
+			processNs := time.Since(t0).Nanoseconds()
 			resp.Stats.QueueNs = queueNs
 			resp.Stats.Workers = s.cfg.Workers
 			s.requests.Add(1)
@@ -253,6 +257,7 @@ func (s *Server) worker() {
 				s.errors.Add(1)
 				s.logf("server: %s failed: %s", j.req.Op, resp.Err)
 			}
+			s.met.observe(j.req.Op, id, queueNs, processNs, resp.Stats)
 			j.done <- resp
 		case <-s.quit:
 			return
@@ -267,6 +272,7 @@ func (s *Server) process(req *Request) (resp *Response) {
 	defer func() {
 		if p := recover(); p != nil {
 			resp = &Response{Err: fmt.Sprintf("server: internal panic: %v", p)}
+			s.met.panics.Inc()
 			s.logf("server: panic in %s: %v\n%s", req.Op, p, debug.Stack())
 		}
 	}()
@@ -301,6 +307,9 @@ func (s *Server) doFactorize(req *Request) *Response {
 	// HostWorkers — parallelism never changes the analysis or factors).
 	opts := req.Opts
 	opts.HostWorkers = s.cfg.FactorWorkers
+	// Observers are a local-process concern: they cannot travel the wire,
+	// and the cache's exact-options check must not see one.
+	opts.Observer = nil
 	stats.FactorWorkers = s.cfg.FactorWorkers
 	key := sstar.StructureKey(a, opts)
 	t0 := time.Now()

@@ -84,6 +84,7 @@ func Gemm(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, 
 	if m == 0 || n == 0 || k == 0 {
 		return
 	}
+	noteGemm(m, n, k)
 	gemmEngine(m, n, k, a, lda, b, ldb, c, ldc, -1)
 }
 
@@ -92,6 +93,7 @@ func GemmAdd(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float6
 	if m == 0 || n == 0 || k == 0 {
 		return
 	}
+	noteGemm(m, n, k)
 	gemmEngine(m, n, k, a, lda, b, ldb, c, ldc, 1)
 }
 
@@ -265,6 +267,7 @@ func GemmScatter(m, n, k int, a []float64, lda int, b []float64, ldb int, c []fl
 	}
 	rsrc, rdst := pb.rsrc[:mv], pb.rdst[:mv]
 	csrc, cdst := pb.csrc[:nv], pb.cdst[:nv]
+	noteScatter(mv, nv, k)
 	if 2*mv*nv*k <= smallGemmFlops {
 		for ii, sr := range rsrc {
 			arow := a[sr*lda : sr*lda+k]
@@ -360,6 +363,7 @@ func TrsmLowerUnitLeft(k, n int, l []float64, ldl int, b []float64, ldb int) {
 	if k == 0 || n == 0 {
 		return
 	}
+	noteTrsm(k, n, int64(n)*int64(k)*int64(k-1))
 	for ib := 0; ib < k; ib += trsmBlock {
 		tb := min(trsmBlock, k-ib)
 		// Triangular solve of the diagonal block rows.
@@ -392,6 +396,7 @@ func TrsmUpperLeft(k, n int, u []float64, ldu int, b []float64, ldb int) {
 	if k == 0 || n == 0 {
 		return
 	}
+	noteTrsm(k, n, int64(n)*int64(k)*int64(k))
 	for ib := (k - 1) / trsmBlock * trsmBlock; ib >= 0; ib -= trsmBlock {
 		tb := min(trsmBlock, k-ib)
 		// Couple to the solved rows below: B[ib:ib+tb] -= U[ib:ib+tb, ib+tb:] * B[ib+tb:].

@@ -16,4 +16,9 @@ fi
 go vet ./...
 go build ./...
 go test ./...
-go test -race . ./internal/machine ./internal/core ./internal/xblas ./internal/server ./client
+go test -race . ./internal/machine ./internal/core ./internal/xblas ./internal/server ./internal/obs ./client
+
+# Observability overhead guard: the disabled instrumentation path (no
+# Observer, stats off) must stay allocation-free in the kernels and the
+# obs primitives.
+go test -run 'ZeroAlloc' -count=1 ./internal/obs ./internal/xblas

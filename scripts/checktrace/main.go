@@ -1,0 +1,88 @@
+// Command checktrace sanity-checks a Chrome trace_event JSON file produced
+// by the -trace flags of sstar-solve/sstar-bench or by a server's
+// /debug/trace endpoint: the file must parse, every span must be a
+// well-formed complete ("X") event, and the Factor/Update spans must
+// respect the task DAG's structure (J == K on Factor, J > K on Update).
+// Used by `make trace` as the end-to-end check that the tracing pipeline
+// emits something the viewers will accept.
+//
+//	go run ./scripts/checktrace out.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type traceDoc struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent `json:"traceEvents"`
+}
+
+type traceEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	PID  int     `json:"pid"`
+	TID  int     `json:"tid"`
+	Args struct {
+		K *int `json:"k"`
+		J *int `json:"j"`
+	} `json:"args"`
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fatalf("usage: checktrace <trace.json>")
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fatalf("%s: not valid JSON: %v", os.Args[1], err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		fatalf("%s: no trace events", os.Args[1])
+	}
+	var factors, updates, phases int
+	lanes := map[int]bool{}
+	for i, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			fatalf("event %d (%q): ph=%q, want complete event \"X\"", i, ev.Name, ev.Ph)
+		}
+		if ev.Ts < 0 || ev.Dur <= 0 {
+			fatalf("event %d (%q): ts=%v dur=%v", i, ev.Name, ev.Ts, ev.Dur)
+		}
+		switch ev.Cat {
+		case "factor":
+			factors++
+			lanes[ev.TID] = true
+			if ev.Args.K == nil || ev.Args.J == nil || *ev.Args.J != *ev.Args.K {
+				fatalf("event %d (%q): Factor span needs args j == k", i, ev.Name)
+			}
+		case "update":
+			updates++
+			lanes[ev.TID] = true
+			if ev.Args.K == nil || ev.Args.J == nil || *ev.Args.J <= *ev.Args.K {
+				fatalf("event %d (%q): Update span needs args j > k", i, ev.Name)
+			}
+		case "phase":
+			phases++
+		}
+	}
+	if factors == 0 {
+		fatalf("%s: no Factor spans — the numeric phase was not traced", os.Args[1])
+	}
+	fmt.Printf("checktrace: %s ok — %d events (%d factor, %d update, %d phase) on %d lanes\n",
+		os.Args[1], len(doc.TraceEvents), factors, updates, phases, len(lanes))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "checktrace: "+format+"\n", args...)
+	os.Exit(1)
+}

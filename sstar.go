@@ -23,6 +23,7 @@ package sstar
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"sstar/internal/core"
 	"sstar/internal/machine"
@@ -62,11 +63,17 @@ type Options struct {
 	PivotThreshold float64
 	// HostWorkers sets the goroutine count of the numeric factor phase:
 	// values above 1 execute the Factor/Update task DAG on that many
-	// shared-memory workers (see FactorizeHostParallel), 0 or 1 keep the
-	// sequential driver. The factors are bit-identical either way, so
-	// HostWorkers never changes results — only wall-clock — and it is
-	// deliberately excluded from StructureKey.
+	// shared-memory workers, 0 or 1 keep the sequential driver. The
+	// factors are bit-identical either way, so HostWorkers never changes
+	// results — only wall-clock — and it is deliberately excluded from
+	// StructureKey.
 	HostWorkers int
+	// Observer, when non-nil, receives the pipeline's phase timings and
+	// per-task trace events (see the Observer interface for the stability
+	// contract). Purely observational: factors are bit-identical with or
+	// without it. Local-only — it is ignored by the solver service's wire
+	// protocol — and excluded from StructureKey.
+	Observer Observer
 }
 
 // DefaultOptions mirrors the paper's experimental configuration.
@@ -81,6 +88,7 @@ func (o Options) analyzeOptions() core.AnalyzeOptions {
 		SkipOrdering: o.SkipOrdering,
 		Ordering:     o.Ordering,
 		Supernode:    supernode.Options{MaxBlock: bs, Amalgamate: o.Amalgamate},
+		Obs:          sinkFor(o.Observer),
 	}
 }
 
@@ -102,6 +110,11 @@ type Factorization struct {
 	// created with; Refactorize reuses it so a parallel handle stays
 	// parallel across numeric refreshes.
 	hostWorkers int
+
+	// observer, when non-nil, receives PhaseFactor/PhaseSolve timings and
+	// per-task events from Refactorize and Solve. Carried over from
+	// Options.Observer at factorize time; not serialized by Save/Load.
+	observer Observer
 
 	// Pattern fingerprint of the factorized matrix (structure hash and
 	// nonzero count), kept so Refactorize can reject a matrix with a
@@ -159,19 +172,22 @@ func Factorize(a *Matrix, o Options) (*Factorization, error) {
 	return an.FactorizeWith(a)
 }
 
-// FactorizeHostParallel is Factorize with the numeric phase spread over the
-// machine's cores: the Factor(k)/Update(k,j) task DAG runs on
-// o.HostWorkers goroutines (runtime.NumCPU() when unset) with the paper's
-// dependence properties enforced by atomic counters, and all updates into one
-// block column serialized in ascending source order. That chain serialization
-// fixes the floating-point accumulation order, so the parallel factors are
-// bit-identical to the sequential Factorize's — determinism is part of the
-// contract, not a tolerance.
+// FactorizeHostParallel is Factorize with Options.HostWorkers defaulted to
+// the machine's core count (runtime.NumCPU()).
+//
+// Deprecated: there is one factorize entrypoint — set Options.HostWorkers
+// and call Factorize. The parallel factors are bit-identical to the
+// sequential ones at any worker count, so the choice is pure wall-clock.
 func FactorizeHostParallel(a *Matrix, o Options) (*Factorization, error) {
+	return Factorize(a, withDefaultWorkers(o))
+}
+
+// withDefaultWorkers fills HostWorkers with the core count when unset.
+func withDefaultWorkers(o Options) Options {
 	if o.HostWorkers <= 0 {
 		o.HostWorkers = core.DefaultHostWorkers()
 	}
-	return Factorize(a, o)
+	return o
 }
 
 // Refactorize reuses the symbolic analysis to factorize a matrix with the
@@ -189,7 +205,7 @@ func (f *Factorization) Refactorize(a *Matrix) error {
 	if a.Nnz() != f.patNnz || patternHash(a) != f.patHash {
 		return fmt.Errorf("sstar: refactorize pattern mismatch: matrix has %d nonzeros in a different structure than the factorized pattern (%d nonzeros)", a.Nnz(), f.patNnz)
 	}
-	fact, err := core.FactorizeHost(a, f.sym, f.hostWorkers)
+	fact, err := core.FactorizeHostObs(a, f.sym, f.hostWorkers, sinkFor(f.observer))
 	if err != nil {
 		return err
 	}
@@ -201,6 +217,12 @@ func (f *Factorization) Refactorize(a *Matrix) error {
 func (f *Factorization) Solve(b []float64) ([]float64, error) {
 	if len(b) != f.sym.N {
 		return nil, fmt.Errorf("sstar: rhs length %d, want %d", len(b), f.sym.N)
+	}
+	if f.observer != nil {
+		t0 := time.Now()
+		x := f.fact.Solve(b)
+		f.observer.Phase(PhaseSolve, time.Since(t0))
+		return x, nil
 	}
 	return f.fact.Solve(b), nil
 }
