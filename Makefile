@@ -1,7 +1,7 @@
 GO ?= go
 SERVE_ADDR ?= 127.0.0.1:7071
 
-.PHONY: check build test race bench-kernels benchpar serve loadtest trace
+.PHONY: check build test race chaos fuzz bench-kernels benchpar serve loadtest trace
 
 check: ## gofmt + vet + build + tests + race detector (CI gate)
 	sh scripts/check.sh
@@ -14,6 +14,14 @@ test:
 
 race:
 	$(GO) test -race . ./internal/machine ./internal/core ./internal/xblas ./internal/server ./internal/obs ./client
+
+chaos: ## fault-injection suite: chaos conn/proxy tests + the end-to-end kill/restart workload, race detector on
+	$(GO) test -race -count=1 ./internal/chaos
+	$(GO) test -race -count=1 -run 'TestChaosEndToEnd' -timeout 600s ./internal/server
+
+fuzz: ## short fuzz smokes over the wire codec and the server request decoder
+	$(GO) test -run='^$$' -fuzz='^FuzzReadFrame$$' -fuzztime=10s ./internal/wire
+	$(GO) test -run='^$$' -fuzz='^FuzzRequestDecode$$' -fuzztime=10s ./internal/server
 
 bench-kernels: ## regenerate the tracked kernel benchmark report
 	$(GO) run ./cmd/sstar-bench -experiment kernels -out BENCH_kernels.json

@@ -40,7 +40,7 @@ func FactorizeBTF(a *Matrix, o Options) (*BTFFactorization, error) {
 		if hi-lo == 1 {
 			v := perm.At(lo, lo)
 			if v == 0 {
-				return nil, fmt.Errorf("sstar: btf: singular 1x1 block at column %d", lo)
+				return nil, fmt.Errorf("%w: btf 1x1 block at column %d", ErrSingular, lo)
 			}
 			f.diag[b] = v
 			continue
@@ -148,7 +148,7 @@ func (f *BTFFactorization) Refactorize(a *Matrix) error {
 		if f.blocks[b] == nil {
 			v := perm.At(lo, lo)
 			if v == 0 {
-				return fmt.Errorf("sstar: btf: singular 1x1 block at column %d", lo)
+				return fmt.Errorf("%w: btf 1x1 block at column %d", ErrSingular, lo)
 			}
 			f.diag[b] = v
 			continue

@@ -16,6 +16,17 @@
 // deadline and cancellation propagate into the framed round trip; the plain
 // methods are the twins with context.Background(). Client.Metrics reports
 // the client's own request/error/dial counters.
+//
+// Failures are typed: a server-side error arrives as a *RemoteError whose
+// class matches the root package's sentinels through errors.Is
+// (sstar.ErrSingular, sstar.ErrBadHandle, sstar.ErrOverloaded,
+// sstar.ErrHandleEvicted, sstar.ErrInternal). A context deadline also
+// travels to the server as the request's time budget, so a request whose
+// queue wait would blow the deadline is shed with sstar.ErrOverloaded
+// instead of executing late. WithRetry adds jittered-backoff retries for
+// exactly the failures that are safe to repeat; independent of the policy, a
+// pooled connection that turns out to be dead is evicted and the operation
+// transparently redialed once (idempotent ops only).
 package client
 
 import (
@@ -49,12 +60,18 @@ func WithDialTimeout(d time.Duration) Option { return func(c *Client) { c.dialTi
 // WithMaxFrame caps an incoming response frame (default wire.DefaultMaxPayload).
 func WithMaxFrame(n int) Option { return func(c *Client) { c.maxFrame = n } }
 
+// WithRetry makes the client retry failed round trips under p — see
+// RetryPolicy for exactly what is safe to retry and why. Without this option
+// retries are disabled and every failure surfaces immediately.
+func WithRetry(p RetryPolicy) Option { return func(c *Client) { c.retry = p.withDefaults() } }
+
 // Client is a connection-pooling client of one solver service.
 type Client struct {
 	network, addr string
 	maxIdle       int
 	maxFrame      int
 	dialTimeout   time.Duration
+	retry         RetryPolicy
 
 	mu     sync.Mutex
 	idle   []net.Conn
@@ -109,22 +126,26 @@ func (c *Client) dial() (net.Conn, error) {
 	return conn, nil
 }
 
-// get pops an idle connection or dials a new one.
-func (c *Client) get() (net.Conn, error) {
+// get pops an idle connection or dials a new one. reused reports which: a
+// pooled connection may have died since it was pooled (a server restart, an
+// idle timeout on a middlebox), so failures on it are eligible for one
+// transparent redial (see doRoundTrip).
+func (c *Client) get() (conn net.Conn, reused bool, err error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return nil, fmt.Errorf("client: closed")
+		return nil, false, fmt.Errorf("client: closed")
 	}
 	if n := len(c.idle); n > 0 {
 		conn := c.idle[n-1]
 		c.idle = c.idle[:n-1]
 		c.mu.Unlock()
 		c.met.reused.Add(1)
-		return conn, nil
+		return conn, true, nil
 	}
 	c.mu.Unlock()
-	return c.dial()
+	conn, err = c.dial()
+	return conn, false, err
 }
 
 // put returns a healthy connection to the pool (or closes it beyond maxIdle).

@@ -2,6 +2,7 @@ package client
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -18,6 +19,9 @@ type clientMetrics struct {
 	canceled atomic.Int64
 	dials    atomic.Int64
 	reused   atomic.Int64
+	retries  atomic.Int64
+	redials  atomic.Int64
+	sheds    atomic.Int64
 }
 
 // Metrics is a snapshot of the client's local counters — the client-side
@@ -25,13 +29,19 @@ type clientMetrics struct {
 // this process issued, how they ended, and how well the connection pool is
 // reusing connections (Dials much larger than expected means the pool is
 // churning: connections poisoned by errors or cancellations, or maxIdle too
-// small for the concurrency level).
+// small for the concurrency level). Retries, Redials, and Sheds are the
+// resilience counters: how often the retry policy fired, how often a stale
+// pooled connection was transparently replaced, and how often the server
+// refused work under load.
 type Metrics struct {
-	Requests int64 // round trips attempted
-	Errors   int64 // round trips that failed (transport or in-band server error)
-	Canceled int64 // round trips ended by context cancellation or deadline
+	Requests int64 // logical calls issued (retries of one call count once)
+	Errors   int64 // calls that ultimately failed (transport or in-band server error)
+	Canceled int64 // calls ended by context cancellation or deadline
 	Dials    int64 // fresh connections dialed (including the eager Dial handshake)
-	Reused   int64 // round trips served by a pooled connection
+	Reused   int64 // attempts served by a pooled connection
+	Retries  int64 // retry attempts made by the retry policy
+	Redials  int64 // stale pooled connections replaced mid-call by a fresh dial
+	Sheds    int64 // responses answered sstar.ErrOverloaded (request refused, not executed)
 }
 
 // Metrics returns a snapshot of the client's counters. Safe to call
@@ -43,34 +53,82 @@ func (c *Client) Metrics() Metrics {
 		Canceled: c.met.canceled.Load(),
 		Dials:    c.met.dials.Load(),
 		Reused:   c.met.reused.Load(),
+		Retries:  c.met.retries.Load(),
+		Redials:  c.met.redials.Load(),
+		Sheds:    c.met.sheds.Load(),
 	}
 }
 
-// roundTripCtx is roundTrip with the context's deadline and cancellation
-// propagated into the framed round trip: the context deadline becomes the
-// connection's I/O deadline, and a cancellation mid-flight forces the
-// blocked read/write to fail promptly. A connection whose request was
-// cancelled is closed, never pooled — the response still in flight on it
-// can't be matched to a later request.
+// roundTripCtx runs one logical call: attempt, then — under the configured
+// RetryPolicy — retry with jittered backoff for exactly the failures that
+// are safe to repeat (see RetryPolicy). The context's deadline and
+// cancellation propagate into every attempt; the retry loop additionally
+// respects the policy's total time budget.
 func (c *Client) roundTripCtx(ctx context.Context, req *server.Request) (*server.Response, error) {
 	c.met.requests.Add(1)
-	resp, err := c.doRoundTrip(ctx, req)
-	if err != nil {
-		c.met.errors.Add(1)
-		if ctx.Err() != nil {
-			c.met.canceled.Add(1)
+	start := time.Now()
+	var resp *server.Response
+	var err error
+	for attempt := 0; ; attempt++ {
+		resp, err = c.doRoundTrip(ctx, req)
+		if err == nil {
+			return resp, nil
 		}
+		if errors.Is(err, sstar.ErrOverloaded) {
+			c.met.sheds.Add(1)
+		}
+		if attempt >= c.retry.MaxRetries || !retryable(req.Op, err) {
+			break
+		}
+		d := c.retry.backoff(attempt)
+		if c.retry.Budget > 0 && time.Since(start)+d > c.retry.Budget {
+			break
+		}
+		if err := sleepCtx(ctx, d); err != nil {
+			break
+		}
+		c.met.retries.Add(1)
+	}
+	c.met.errors.Add(1)
+	if ctx.Err() != nil {
+		c.met.canceled.Add(1)
 	}
 	return resp, err
 }
 
+// doRoundTrip performs one attempt: send the request, read the response. A
+// transport failure on a *pooled* connection — the classic stale-connection
+// trap after a server restart — is healed transparently for idempotent
+// operations: the dead connection is dropped and the attempt repeated once
+// on a fresh dial. Non-idempotent operations (factorize, free) surface the
+// error instead, because the stale connection's failure mode is ambiguous
+// about whether the server executed the request.
 func (c *Client) doRoundTrip(ctx context.Context, req *server.Request) (*server.Response, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("client: %w", err)
+	resp, err, failedPooled := c.attempt(ctx, req)
+	if failedPooled && req.Op.Idempotent() && ctx.Err() == nil {
+		c.met.redials.Add(1)
+		resp, err, _ = c.attempt(ctx, req)
 	}
-	conn, err := c.get()
+	return resp, err
+}
+
+// attempt is one wire exchange. failedPooled reports a transport failure on
+// a connection that came from the idle pool (never set for in-band server
+// errors, context failures, or failures on freshly dialed connections).
+func (c *Client) attempt(ctx context.Context, req *server.Request) (_ *server.Response, err error, failedPooled bool) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("client: %w", err), false
+	}
+	conn, reused, err := c.get()
 	if err != nil {
-		return nil, err
+		return nil, err, false
+	}
+	// Deadline header: the server sheds the request instead of running it
+	// when its queue wait alone would exhaust the remaining budget.
+	if d, ok := ctx.Deadline(); ok {
+		req.TimeoutNs = max(time.Until(d).Nanoseconds(), 1)
+	} else {
+		req.TimeoutNs = 0
 	}
 	// Deadline propagation: the context deadline bounds both frames, and an
 	// asynchronous cancel moves the deadline into the past so a blocked
@@ -96,7 +154,7 @@ func (c *Client) doRoundTrip(ctx context.Context, req *server.Request) (*server.
 			stop()
 		}
 		conn.Close()
-		return nil, ctxErr("send", err)
+		return nil, ctxErr("send", err), reused && ctx.Err() == nil
 	}
 	resp := new(server.Response)
 	if err := wire.ReadGob(conn, server.FrameResponse, c.maxFrame, resp); err != nil {
@@ -104,7 +162,7 @@ func (c *Client) doRoundTrip(ctx context.Context, req *server.Request) (*server.
 			stop()
 		}
 		conn.Close()
-		return nil, ctxErr("receive", err)
+		return nil, ctxErr("receive", err), reused && ctx.Err() == nil
 	}
 	if stop != nil {
 		if !stop() {
@@ -119,10 +177,7 @@ func (c *Client) doRoundTrip(ctx context.Context, req *server.Request) (*server.
 	} else {
 		c.put(conn)
 	}
-	if resp.Err != "" {
-		return resp, fmt.Errorf("%s", resp.Err)
-	}
-	return resp, nil
+	return resp, resp.Error(), false
 }
 
 // PingCtx is Ping bounded by ctx.

@@ -1,0 +1,82 @@
+package client_test
+
+import (
+	"errors"
+	"testing"
+
+	"sstar"
+	"sstar/client"
+	"sstar/internal/server"
+)
+
+// TestSingularTypedThroughClient is the end-to-end error-taxonomy check: a
+// numerically singular matrix submitted through a real client over a real
+// connection fails with an error that matches sstar.ErrSingular via
+// errors.Is — the same branch a caller of the local library API would take —
+// is never retried (retrying cannot fix the input), and leaks nothing on the
+// server.
+func TestSingularTypedThroughClient(t *testing.T) {
+	addr := startServer(t, server.Config{Workers: 1})
+	c, err := client.Dial("tcp", addr, client.WithRetry(client.DefaultRetryPolicy()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	sing := &sstar.Matrix{
+		N: 2, M: 2,
+		RowPtr: []int{0, 2, 4},
+		ColInd: []int{0, 1, 0, 1},
+		Val:    []float64{1, 1, 1, 1}, // rank 1
+	}
+	h, _, ferr := c.Factorize(sing, sstar.DefaultOptions())
+	if ferr == nil {
+		t.Fatal("singular matrix factorized")
+	}
+	if h != nil {
+		t.Fatal("failed factorize returned a handle")
+	}
+	if !errors.Is(ferr, sstar.ErrSingular) {
+		t.Fatalf("errors.Is(ErrSingular) false for %v", ferr)
+	}
+	var re *client.RemoteError
+	if !errors.As(ferr, &re) {
+		t.Fatalf("error %v is not a RemoteError", ferr)
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Factorizes != 1 {
+		t.Fatalf("server ran %d factorizes: the typed singular failure was retried", st.Factorizes)
+	}
+	if st.Handles != 0 {
+		t.Fatalf("%d handles leaked by the failed factorize", st.Handles)
+	}
+	if st.Errors != 1 {
+		t.Fatalf("server error counter %d, want 1", st.Errors)
+	}
+	if m := c.Metrics(); m.Retries != 0 || m.Errors != 1 {
+		t.Fatalf("client metrics %+v, want 0 retries and 1 error", m)
+	}
+
+	// The same client and server still factorize and solve a healthy system.
+	a := sstar.GenGrid2D(6, 6, false, sstar.GenOptions{Seed: 4})
+	good, _, err := c.Factorize(a, sstar.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, a.N)
+	b[0] = 1
+	x, _, err := good.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := sstar.Residual(a, x, b); r > 1e-9 {
+		t.Fatalf("residual %g after the singular episode", r)
+	}
+	if err := good.Free(); err != nil {
+		t.Fatal(err)
+	}
+}

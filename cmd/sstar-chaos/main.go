@@ -1,0 +1,82 @@
+// Command sstar-chaos is a fault-injecting TCP proxy for the solver service:
+// it relays client connections to an upstream sstar-serve while injecting
+// latency, bandwidth caps, fragmented writes, mid-frame resets, and byte
+// corruption — deterministically, from a seed — so resilience can be
+// rehearsed against a live deployment instead of discovered in one.
+//
+// Usage:
+//
+//	sstar-serve -tcp 127.0.0.1:7071 &
+//	sstar-chaos -listen 127.0.0.1:7070 -upstream 127.0.0.1:7071 \
+//	    -seed 1 -latency 2ms -reset 0.01 -corrupt 0.005 -partial 0.3
+//	sstar-load -addr 127.0.0.1:7070 ...   # clients aim at the proxy
+//
+// Every new client connection dials the upstream afresh, so the upstream can
+// be killed and restarted mid-run: existing relays break (as they would in a
+// real network partition) and new connections reach the restarted server.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sstar/internal/chaos"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:7070", "address to accept clients on")
+		upstream = flag.String("upstream", "", "address of the real server (required)")
+		seed     = flag.Int64("seed", 1, "fault PRNG seed (same seed, same I/O sequence => same faults)")
+		latency  = flag.Duration("latency", 0, "max injected latency per I/O op (uniform in [0,latency])")
+		bps      = flag.Int64("bandwidth", 0, "bandwidth cap in bytes/sec per direction (0 = uncapped)")
+		reset    = flag.Float64("reset", 0, "probability per I/O op of a mid-frame connection reset")
+		corrupt  = flag.Float64("corrupt", 0, "probability per I/O op of flipping one bit")
+		partial  = flag.Float64("partial", 0, "probability a write is fragmented into several smaller writes")
+		dialTO   = flag.Duration("dial-timeout", 3*time.Second, "upstream dial timeout")
+	)
+	flag.Parse()
+	if *upstream == "" {
+		fmt.Fprintln(os.Stderr, "sstar-chaos: need -upstream")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("sstar-chaos: %v", err)
+	}
+	cfg := chaos.Config{
+		Seed:         *seed,
+		Latency:      *latency,
+		BandwidthBps: *bps,
+		PartialWrite: *partial,
+		Reset:        *reset,
+		Corrupt:      *corrupt,
+	}
+	p := chaos.NewProxy(l, func() (net.Conn, error) {
+		return net.DialTimeout("tcp", *upstream, *dialTO)
+	}, cfg)
+	log.Printf("sstar-chaos: %s -> %s (seed=%d latency<=%v bw=%dB/s reset=%.3f corrupt=%.3f partial=%.3f)",
+		l.Addr(), *upstream, *seed, *latency, *bps, *reset, *corrupt, *partial)
+
+	errc := make(chan error, 1)
+	go func() { errc <- p.Serve() }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil {
+			log.Fatalf("sstar-chaos: %v", err)
+		}
+	case got := <-sig:
+		log.Printf("sstar-chaos: %v, shutting down", got)
+	}
+	p.Close()
+}

@@ -9,11 +9,13 @@
 //	sstar-load -addr 127.0.0.1:7071              # against a running sstar-serve
 //	sstar-load -clients 16 -duration 10s -nx 30  # heavier run
 //	sstar-load -patterns 4 -mix 1,3,6            # 4 structures; 10% fact / 30% refac / 60% solve
+//	sstar-load -addr ... -retries 4 -timeout 2s  # through sstar-chaos: retry + per-request deadline
 //
 // The report lands in -out (default BENCH_service.json).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -84,6 +86,8 @@ func main() {
 		workers  = flag.Int("workers", 4, "in-process server workers (when -addr is empty)")
 		factorW  = flag.Int("factor-workers", 0, "in-process server factor-phase goroutines per request; 0 = NumCPU/workers")
 		cacheSz  = flag.Int("cache", 64, "in-process server analysis cache entries")
+		retries  = flag.Int("retries", 0, "client retry attempts per request (0 disables; sheds and idempotent transport failures only)")
+		timeout  = flag.Duration("timeout", 0, "per-request deadline (0 = none; set this when the path can stall, e.g. behind sstar-chaos)")
 		out      = flag.String("out", "BENCH_service.json", "report output path")
 	)
 	flag.Parse()
@@ -137,13 +141,22 @@ func main() {
 		wg.Add(1)
 		go func(ci int) {
 			defer wg.Done()
-			c, err := client.Dial(net_, target)
-			if err != nil {
-				fail(err)
-				return
+			var copts []client.Option
+			if *retries > 0 {
+				p := client.DefaultRetryPolicy()
+				p.MaxRetries = *retries
+				copts = append(copts, client.WithRetry(p))
 			}
-			defer c.Close()
 			rng := rand.New(rand.NewSource(*seed + int64(ci)))
+			// Per-request deadline: without one, a stalled connection (a
+			// corrupted length prefix behind a fault proxy never delivers
+			// the bytes the reader waits for) blocks the goroutine forever.
+			reqCtx := func() (context.Context, context.CancelFunc) {
+				if *timeout <= 0 {
+					return context.Background(), func() {}
+				}
+				return context.WithTimeout(context.Background(), *timeout)
+			}
 			base := bases[ci%len(bases)]
 			cur := base.Clone()
 			perturb := func() {
@@ -152,37 +165,68 @@ func main() {
 				}
 			}
 
-			factorize := func() *client.Handle {
-				t0 := time.Now()
-				h, st, err := c.Factorize(cur, sstar.DefaultOptions())
-				if err != nil {
-					fail(err)
-					return nil
+			// A load generator must outlive the faults it measures: every
+			// failed operation is counted and the worker rebuilds — redial
+			// on a dead client, refactorize on a lost handle. A dropped
+			// handle may survive server-side; the server's TTL/budget
+			// eviction reclaims it.
+			var c *client.Client
+			var h *client.Handle
+			defer func() {
+				if c == nil {
+					return
 				}
-				record(opSample{op: "factorize", latency: time.Since(t0), hit: st.CacheHit})
-				return h
-			}
-			h := factorize()
-			if h == nil {
-				return
-			}
+				if h != nil {
+					ctx, cancel := reqCtx()
+					h.FreeCtx(ctx)
+					cancel()
+				}
+				c.Close()
+			}()
 			for time.Now().Before(deadline) {
+				if c == nil {
+					cc, err := client.Dial(net_, target, copts...)
+					if err != nil {
+						fail(err)
+						time.Sleep(20 * time.Millisecond)
+						continue
+					}
+					c = cc
+				}
+				if h == nil {
+					t0 := time.Now()
+					ctx, cancel := reqCtx()
+					hh, st, err := c.FactorizeCtx(ctx, cur, sstar.DefaultOptions())
+					cancel()
+					if err != nil {
+						fail(err)
+						time.Sleep(20 * time.Millisecond)
+						continue
+					}
+					h = hh
+					record(opSample{op: "factorize", latency: time.Since(t0), hit: st.CacheHit})
+				}
 				switch pick(rng, weights) {
 				case 0:
-					if err := h.Free(); err != nil {
+					ctx, cancel := reqCtx()
+					err := h.FreeCtx(ctx)
+					cancel()
+					h = nil
+					if err != nil {
 						fail(err)
-						return
+						continue
 					}
-					perturb()
-					if h = factorize(); h == nil {
-						return
-					}
+					perturb() // next iteration factorizes the perturbed values
 				case 1:
 					perturb()
 					t0 := time.Now()
-					if _, err := h.Refactorize(cur.Val); err != nil {
+					ctx, cancel := reqCtx()
+					_, err := h.RefactorizeCtx(ctx, cur.Val)
+					cancel()
+					if err != nil {
 						fail(err)
-						return
+						h = nil
+						continue
 					}
 					record(opSample{op: "refactorize", latency: time.Since(t0)})
 				default:
@@ -191,10 +235,13 @@ func main() {
 						b[i] = 2*rng.Float64() - 1
 					}
 					t0 := time.Now()
-					x, _, err := h.Solve(b)
+					ctx, cancel := reqCtx()
+					x, _, err := h.SolveCtx(ctx, b)
+					cancel()
 					if err != nil {
 						fail(err)
-						return
+						h = nil
+						continue
 					}
 					record(opSample{op: "solve", latency: time.Since(t0)})
 					if *check {
@@ -204,7 +251,6 @@ func main() {
 					}
 				}
 			}
-			h.Free()
 		}(ci)
 	}
 	wg.Wait()

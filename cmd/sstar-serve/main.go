@@ -28,6 +28,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"sstar/internal/server"
 )
@@ -39,6 +40,9 @@ func main() {
 		workers  = flag.Int("workers", 4, "concurrent factorize/solve workers")
 		factorW  = flag.Int("factor-workers", 0, "goroutines per numeric factor phase; 0 = NumCPU/workers (core split)")
 		cache    = flag.Int("cache", 64, "analysis cache capacity (structures)")
+		memMB    = flag.Int64("mem-budget", 0, "handle memory budget in MiB; LRU handles are evicted beyond it (0 = unlimited)")
+		ttl      = flag.Duration("handle-ttl", 0, "evict handles idle for this long, e.g. 10m (0 = never)")
+		drain    = flag.Duration("drain", 10*time.Second, "max time to wait for in-flight requests on shutdown")
 		admin    = flag.String("admin", "", "HTTP admin listen address (/metrics, /debug/trace, /debug/pprof); empty disables")
 		quiet    = flag.Bool("quiet", false, "suppress per-event logging")
 	)
@@ -49,7 +53,14 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := server.Config{Workers: *workers, FactorWorkers: *factorW, CacheEntries: *cache}
+	cfg := server.Config{
+		Workers:       *workers,
+		FactorWorkers: *factorW,
+		CacheEntries:  *cache,
+		MemBudget:     *memMB << 20,
+		HandleTTL:     *ttl,
+		DrainTimeout:  *drain,
+	}
 	if !*quiet {
 		cfg.Logf = log.Printf
 	}
@@ -102,6 +113,6 @@ func main() {
 		os.Remove(*unixPath)
 	}
 	st := s.Stats()
-	log.Printf("sstar-serve: served %d requests (%d errors), cache %d/%d hit/miss (%.0f%%), %d live handles",
-		st.Requests, st.Errors, st.CacheHits, st.CacheMisses, 100*st.HitRate(), st.Handles)
+	log.Printf("sstar-serve: served %d requests (%d errors, %d shed), cache %d/%d hit/miss (%.0f%%), %d live handles (%d evicted)",
+		st.Requests, st.Errors, st.Sheds, st.CacheHits, st.CacheMisses, 100*st.HitRate(), st.Handles, st.Evictions)
 }

@@ -1,0 +1,232 @@
+package chaos_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"sstar/internal/chaos"
+	"sstar/internal/wire"
+)
+
+// pipePair returns the two ends of an in-memory connection with faults on
+// the a side.
+func pipePair(cfg Config, streamID int64) (faulty net.Conn, clean net.Conn) {
+	a, b := net.Pipe()
+	return chaos.WrapConn(a, cfg, streamID), b
+}
+
+type Config = chaos.Config
+
+// TestTransparentWhenZero: the zero Config must not alter the byte stream.
+func TestTransparentWhenZero(t *testing.T) {
+	faulty, clean := pipePair(Config{}, 1)
+	defer faulty.Close()
+	defer clean.Close()
+	msg := []byte("the quick brown fox jumps over the lazy dog")
+	go func() {
+		faulty.Write(msg)
+	}()
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(clean, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("bytes altered: %q", got)
+	}
+}
+
+// TestPartialWritesPreserveBytes: fragmentation reorders nothing and loses
+// nothing — it only splits the delivery.
+func TestPartialWritesPreserveBytes(t *testing.T) {
+	faulty, clean := pipePair(Config{Seed: 7, PartialWrite: 1}, 1)
+	defer faulty.Close()
+	defer clean.Close()
+	msg := bytes.Repeat([]byte("abcdefgh"), 100)
+	go func() {
+		if _, err := faulty.Write(msg); err != nil {
+			t.Errorf("write: %v", err)
+		}
+	}()
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(clean, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("fragmented write altered bytes")
+	}
+}
+
+// TestCorruptionIsCaughtByFrameCRC: a bit flip anywhere in a frame must
+// surface as a wire error (checksum, torn frame, bad type...), never as a
+// silently decoded wrong payload.
+func TestCorruptionIsCaughtByFrameCRC(t *testing.T) {
+	payload := bytes.Repeat([]byte{0xA5}, 256)
+	corrupted := 0
+	for stream := int64(0); stream < 32; stream++ {
+		faulty, clean := pipePair(Config{Seed: 99, Corrupt: 1}, stream)
+		go func() {
+			wire.WriteFrame(faulty, 0x2, payload)
+			faulty.Close()
+		}()
+		typ, got, err := wire.ReadFrame(clean, 1<<16)
+		clean.Close()
+		if err != nil {
+			corrupted++
+			continue
+		}
+		// An undetected pass-through must be bit-identical.
+		if typ != 0x2 || !bytes.Equal(got, payload) {
+			t.Fatalf("stream %d: corruption decoded as success", stream)
+		}
+	}
+	if corrupted == 0 {
+		t.Fatal("Corrupt=1 never produced a detectable fault in 32 streams")
+	}
+}
+
+// TestResetTearsMidFrame: with Reset=1 the first write fails with the
+// injected-fault error and the peer sees a torn frame, not a clean EOF
+// before any byte.
+func TestResetTearsMidFrame(t *testing.T) {
+	faulty, clean := pipePair(Config{Seed: 3, Reset: 1}, 1)
+	defer clean.Close()
+	// The reader must run concurrently: net.Pipe writes are synchronous, and
+	// the reset path may deliver a prefix before tearing the conn down.
+	readDone := make(chan int, 1)
+	go func() {
+		clean.SetReadDeadline(time.Now().Add(5 * time.Second))
+		n, _ := io.Copy(io.Discard, clean)
+		readDone <- int(n)
+	}()
+	_, err := faulty.Write(bytes.Repeat([]byte{1}, 1024))
+	if !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("write error %v, want ErrInjected", err)
+	}
+	if n := <-readDone; n >= 1024 {
+		t.Fatalf("reset delivered the whole frame (%d bytes)", n)
+	}
+}
+
+// TestDeterministicFaultStream: the same seed and the same I/O sequence draw
+// the same faults — byte-identical delivery downstream.
+func TestDeterministicFaultStream(t *testing.T) {
+	run := func() []byte {
+		faulty, clean := pipePair(Config{Seed: 1234, Corrupt: 0.5, PartialWrite: 0.5}, 5)
+		defer faulty.Close()
+		defer clean.Close()
+		var got bytes.Buffer
+		done := make(chan struct{})
+		go func() {
+			io.Copy(&got, clean)
+			close(done)
+		}()
+		for i := 0; i < 20; i++ {
+			if _, err := faulty.Write(bytes.Repeat([]byte{byte(i)}, 64)); err != nil {
+				break
+			}
+		}
+		faulty.Close()
+		<-done
+		return got.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two runs with one seed diverged: %d vs %d bytes", len(a), len(b))
+	}
+}
+
+// TestBandwidthCapSlowsDelivery: a 64 KiB transfer over a 1 MiB/s cap takes
+// at least a few tens of milliseconds; uncapped it is instant.
+func TestBandwidthCapSlowsDelivery(t *testing.T) {
+	faulty, clean := pipePair(Config{Seed: 1, BandwidthBps: 1 << 20}, 1)
+	defer faulty.Close()
+	defer clean.Close()
+	const total = 64 << 10
+	go func() {
+		buf := make([]byte, 4096)
+		for sent := 0; sent < total; sent += len(buf) {
+			if _, err := faulty.Write(buf); err != nil {
+				return
+			}
+		}
+	}()
+	t0 := time.Now()
+	if _, err := io.ReadFull(clean, make([]byte, total)); err != nil {
+		t.Fatal(err)
+	}
+	// 64 KiB at 1 MiB/s is 62.5ms of injected sleep; allow wide slack.
+	if el := time.Since(t0); el < 20*time.Millisecond {
+		t.Fatalf("bandwidth cap not applied: %v for %d bytes", el, total)
+	}
+}
+
+// TestProxyRelaysAndSurvivesUpstreamRestart: an echo upstream behind the
+// proxy, killed and restarted; a fresh connection through the same proxy
+// reaches the new upstream.
+func TestProxyRelaysAndSurvivesUpstreamRestart(t *testing.T) {
+	startEcho := func() (net.Listener, string) {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			for {
+				c, err := l.Accept()
+				if err != nil {
+					return
+				}
+				go func() { io.Copy(c, c); c.Close() }()
+			}
+		}()
+		return l, l.Addr().String()
+	}
+	up1, addr1 := startEcho()
+	var upstream = make(chan string, 1)
+	upstream <- addr1
+	current := addr1
+	dial := func() (net.Conn, error) {
+		select {
+		case current = <-upstream:
+		default:
+		}
+		return net.DialTimeout("tcp", current, time.Second)
+	}
+	pl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := chaos.NewProxy(pl, dial, Config{Seed: 5})
+	go p.Serve()
+	defer p.Close()
+
+	echo := func(msg string) (string, error) {
+		c, err := net.DialTimeout("tcp", p.Addr().String(), time.Second)
+		if err != nil {
+			return "", err
+		}
+		defer c.Close()
+		c.SetDeadline(time.Now().Add(2 * time.Second))
+		if _, err := c.Write([]byte(msg)); err != nil {
+			return "", err
+		}
+		buf := make([]byte, len(msg))
+		if _, err := io.ReadFull(c, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	if got, err := echo("hello"); err != nil || got != "hello" {
+		t.Fatalf("echo through proxy: %q, %v", got, err)
+	}
+
+	up1.Close()
+	_, addr2 := startEcho()
+	upstream <- addr2
+	if got, err := echo("again"); err != nil || got != "again" {
+		t.Fatalf("echo after upstream restart: %q, %v", got, err)
+	}
+}

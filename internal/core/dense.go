@@ -18,7 +18,7 @@ func DenseLU(n int, a []float64, piv []int) error {
 			}
 		}
 		if best == 0 {
-			return fmt.Errorf("core: dense matrix singular at step %d", k)
+			return fmt.Errorf("%w: dense zero pivot at step %d", ErrSingular, k)
 		}
 		piv[k] = p
 		if p != k {

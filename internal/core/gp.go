@@ -162,7 +162,7 @@ func GPFactorize(a *sparse.CSR, pivotTol float64) (*GPFactors, error) {
 			}
 		}
 		if pivRow < 0 || pivAbs == 0 {
-			return nil, fmt.Errorf("core: matrix is singular at column %d", j)
+			return nil, fmt.Errorf("%w: zero pivot at column %d", ErrSingular, j)
 		}
 		// Threshold pivoting: prefer the diagonal when it is large enough.
 		if diagRow >= 0 && math.Abs(x[diagRow]) >= pivotTol*pivAbs {

@@ -117,7 +117,7 @@ func FactorPanel(bm *supernode.BlockMatrix, k int, piv []int32, tol float64, ws 
 			}
 		}
 		if bestVal == 0 {
-			return fmt.Errorf("core: singular pivot at column %d", m)
+			return fmt.Errorf("%w: zero pivot at column %d", ErrSingular, m)
 		}
 		if diagVal >= tol*bestVal {
 			bestRow = m // threshold pivoting: keep the diagonal

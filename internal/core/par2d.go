@@ -271,7 +271,7 @@ func (x *proc2d) factor2D(k int) {
 				}
 			}
 			if best.row < 0 || best.val == 0 {
-				panic(singularErr{fmt.Errorf("core: singular pivot at column %d", m)})
+				panic(singularErr{fmt.Errorf("%w: zero pivot at column %d", ErrSingular, m)})
 			}
 			if math.Abs(d.Data[mc*s+mc]) >= x.tol*best.val {
 				// Threshold pivoting: keep the diagonal row.

@@ -1,0 +1,298 @@
+package server_test
+
+// The chaos end-to-end suite: the full client -> fault-injecting proxy ->
+// server stack under a mixed factorize/refactorize/solve workload, including
+// a server kill/restart in the middle. The bar is the service's core promise
+// under faults:
+//
+//   - every solve that completes is bit-identical to a local sequential
+//     factorization of the same system (corruption may fail a request, it may
+//     never corrupt an answer);
+//   - the workload finishes: retries, redials, and app-level refactorizes
+//     recover from every injected fault and from the restart;
+//   - nothing leaks: live handles drain to zero and the goroutine count
+//     returns to its pre-test level once everything is closed.
+
+import (
+	"context"
+	"errors"
+	"math"
+	"net"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sstar"
+	"sstar/client"
+	"sstar/internal/chaos"
+	"sstar/internal/server"
+)
+
+// chaosSystem is one linear system of the workload with its locally computed
+// ground truth.
+type chaosSystem struct {
+	a    *sstar.Matrix
+	vals []float64 // a.Val copy for values-only refactorizes (same values: factors unchanged)
+	b    []float64
+	xref []float64 // local sequential solve, the bit-exact reference
+	est  int64     // server-side handle byte estimate, for sizing the budget
+	h    *client.Handle
+}
+
+func buildChaosSystems(t *testing.T) []*chaosSystem {
+	t.Helper()
+	var systems []*chaosSystem
+	for i := 0; i < 4; i++ {
+		a := sstar.GenGrid2D(10+i, 11+i, i%2 == 1, sstar.GenOptions{Seed: int64(100 + i), Convection: 0.2})
+		f, err := sstar.Factorize(a, sstar.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := make([]float64, a.N)
+		for k := range b {
+			b[k] = math.Sin(float64(3*k+i) + 1)
+		}
+		xref, err := f.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		systems = append(systems, &chaosSystem{
+			a:    a,
+			vals: append([]float64(nil), a.Val...),
+			b:    b,
+			xref: xref,
+			est:  f.FillIn()*12 + int64(len(a.RowPtr)+len(a.ColInd))*8,
+		})
+	}
+	return systems
+}
+
+// staleHandle reports the typed failures that mean "this handle is gone —
+// factorize again", as opposed to transient faults worth plain retrying.
+func staleHandle(err error) bool {
+	return errors.Is(err, sstar.ErrBadHandle) || errors.Is(err, sstar.ErrHandleEvicted)
+}
+
+func TestChaosEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos e2e takes seconds")
+	}
+	baseGoroutines := runtime.NumGoroutine()
+	systems := buildChaosSystems(t)
+
+	// The budget fits two of the four cycling structures, so the registry
+	// evicts continuously; the TTL sweeps handles orphaned when a factorize
+	// response is lost to an injected fault.
+	cfg := server.Config{
+		Workers:       2,
+		FactorWorkers: 2,
+		MemBudget:     systems[0].est + systems[1].est,
+		HandleTTL:     400 * time.Millisecond,
+		DrainTimeout:  2 * time.Second,
+	}
+	newServer := func() (*server.Server, net.Listener) {
+		s := server.New(cfg)
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go s.Serve(l)
+		return s, l
+	}
+	s1, l1 := newServer()
+
+	// The chaos proxy sits between client and server: deterministic seed,
+	// fault rates low enough for steady progress and high enough that a
+	// workload this size is guaranteed to trip every fault class many times.
+	var upstream atomic.Value
+	upstream.Store(l1.Addr().String())
+	pl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := chaos.NewProxy(pl, func() (net.Conn, error) {
+		return net.DialTimeout("tcp", upstream.Load().(string), time.Second)
+	}, chaos.Config{Seed: 42, Corrupt: 0.03, Reset: 0.02, PartialWrite: 0.25})
+	go proxy.Serve()
+
+	cl, err := client.Dial("tcp", proxy.Addr().String(),
+		client.WithRetry(client.RetryPolicy{MaxRetries: 4, BaseBackoff: 2 * time.Millisecond, MaxBackoff: 50 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mixed workload: mostly solves, a values-only refactorize every fifth
+	// iteration, factorizes whenever a handle is missing, evicted, or lost to
+	// the restart. Every iteration must eventually complete, and every
+	// completed solve must match the local reference bit for bit.
+	const iters = 210
+	s2, l2 := s1, l1
+	var s1FinalStats server.ServerStats
+	restarted := false
+	for i := 0; i < iters; i++ {
+		if i == iters/2 {
+			// Kill and replace the server mid-workload. Handles die with it;
+			// the random per-instance id base guarantees stale handles fail
+			// typed instead of silently hitting the new instance's factors.
+			s1FinalStats = s1.Stats()
+			s1.Close()
+			s2, l2 = newServer()
+			upstream.Store(l2.Addr().String())
+			restarted = true
+		}
+		sy := systems[i%len(systems)]
+		completed := false
+		for attempt := 0; attempt < 100 && !completed; attempt++ {
+			if attempt > 0 {
+				time.Sleep(5 * time.Millisecond)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			if sy.h == nil {
+				h, _, err := cl.FactorizeCtx(ctx, sy.a, sstar.DefaultOptions())
+				cancel()
+				if err == nil {
+					sy.h = h
+				}
+				continue
+			}
+			if i%5 == 4 {
+				if _, err := sy.h.RefactorizeCtx(ctx, sy.vals); err != nil {
+					cancel()
+					if staleHandle(err) {
+						sy.h = nil
+					}
+					continue
+				}
+			}
+			x, _, err := sy.h.SolveCtx(ctx, sy.b)
+			cancel()
+			if err != nil {
+				if staleHandle(err) {
+					sy.h = nil
+				}
+				continue
+			}
+			if len(x) != len(sy.xref) {
+				t.Fatalf("iteration %d: solve returned %d values, want %d", i, len(x), len(sy.xref))
+			}
+			for k := range x {
+				if math.Float64bits(x[k]) != math.Float64bits(sy.xref[k]) {
+					t.Fatalf("iteration %d: solve diverges from the local reference at %d: %x != %x — an injected fault corrupted an answer", i, k, math.Float64bits(x[k]), math.Float64bits(sy.xref[k]))
+				}
+			}
+			completed = true
+		}
+		if !completed {
+			t.Fatalf("iteration %d never completed (server restarted: %v)", i, restarted)
+		}
+	}
+
+	// Deliberate overload against the live server, bypassing the proxy so the
+	// shed is deterministic: both workers pinned by big factorizations, then a
+	// short-deadline ping that can only be shed.
+	direct, err := client.Dial("tcp", l2.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A separate client for the probe ping: its pooled connection is dialed
+	// and handshaked *before* the workers are pinned, so the ping's deadline
+	// budget is spent queueing on the server, not dialing under CPU
+	// contention from the factorizations.
+	pingc, err := client.Dial("tcp", l2.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := sstar.GenGrid2D(96, 96, false, sstar.GenOptions{Seed: 7, Convection: 0.1})
+	factorizesBefore := s2.Stats().Factorizes
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if h, _, err := direct.Factorize(big, sstar.DefaultOptions()); err == nil {
+				h.Free()
+			}
+		}()
+	}
+	// Wait until both factorizes are actually on the workers (the counter
+	// increments on entry), not merely in flight on the wire.
+	for i := 0; s2.Stats().Factorizes < factorizesBefore+int64(cfg.Workers); i++ {
+		if i > 10000 {
+			t.Fatal("big factorizes never reached the workers")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// 100ms: far past any scheduling jitter, far short of the hundreds of
+	// milliseconds the workers stay pinned — the ping can only be shed.
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	if err := pingc.PingCtx(ctx); err == nil {
+		t.Fatal("short-deadline ping behind two pinned workers succeeded")
+	}
+	cancel()
+	wg.Wait()
+
+	// Resilience counters: the workload must actually have exercised the
+	// machinery it claims to test.
+	m := cl.Metrics()
+	if m.Retries+m.Redials == 0 {
+		t.Fatalf("client metrics %+v: the fault rates above cannot leave zero retries and redials over %d iterations", m, iters)
+	}
+	st2 := s2.Stats()
+	if total := s1FinalStats.Requests + st2.Requests; total < 200 {
+		t.Fatalf("servers saw %d requests, want >= 200", total)
+	}
+	if s1FinalStats.Evictions+st2.Evictions == 0 {
+		t.Fatal("no handle evictions despite a two-handle budget and four cycling structures")
+	}
+	if st2.Sheds == 0 {
+		t.Fatal("no sheds despite the deliberate overload")
+	}
+
+	// The counters are on /metrics, where an operator would look first.
+	rec := httptest.NewRecorder()
+	s2.AdminHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, name := range []string{"sstar_server_sheds_total", "sstar_server_handle_evictions_total", "sstar_server_handle_bytes"} {
+		if !strings.Contains(body, name) {
+			t.Fatalf("/metrics missing %s", name)
+		}
+	}
+
+	// No handle leaks: free what the workload still holds (stale ids fail
+	// typed, which is fine), then the TTL sweeper must drain the rest —
+	// including handles orphaned by lost factorize responses — to zero.
+	for _, sy := range systems {
+		if sy.h != nil {
+			sy.h.FreeCtx(context.Background())
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := s2.Stats().Handles; n == 0 {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("%d handles still live after frees and %v of TTL sweeping", n, cfg.HandleTTL)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// No goroutine leaks once every component is shut down.
+	cl.Close()
+	direct.Close()
+	pingc.Close()
+	proxy.Close()
+	s2.Close()
+	for i := 0; ; i++ {
+		if runtime.NumGoroutine() <= baseGoroutines+2 {
+			break
+		}
+		if i > 500 {
+			t.Fatalf("goroutines: %d at start, %d after shutdown", baseGoroutines, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

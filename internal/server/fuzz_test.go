@@ -1,0 +1,67 @@
+package server
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"sstar"
+	"sstar/internal/wire"
+)
+
+// fuzzServer is one shared worker-less server; process is called directly, so
+// the pool is irrelevant and paying New per fuzz iteration would only slow
+// the fuzzer down.
+var fuzzServer = sync.OnceValue(func() *Server {
+	return New(Config{Workers: 1})
+})
+
+// FuzzRequestDecode drives hostile byte streams through the exact path a
+// connection uses — frame decode, gob decode, then request execution — and
+// requires the server side to survive every one: decode errors and in-band
+// error responses are fine, a process-killing panic is not. (process recovers
+// panics by contract; the fuzzer proves the recovery really holds the line.)
+func FuzzRequestDecode(f *testing.F) {
+	// Seed with well-formed requests of every op so the fuzzer starts from
+	// deep inside the accepted grammar rather than random noise.
+	a := sstar.GenGrid2D(4, 4, false, sstar.GenOptions{Seed: 3})
+	seeds := []*Request{
+		{Op: OpPing},
+		{Op: OpStats},
+		{Op: OpFactorize, Matrix: a, Opts: sstar.DefaultOptions(), TimeoutNs: 1e9},
+		{Op: OpSolve, Handle: 1, B: make([]float64, 16)},
+		{Op: OpRefactorize, Handle: 2, Values: []float64{1, 2, 3}},
+		{Op: OpFree, Handle: 3},
+		{Op: Op(200)},
+	}
+	for _, req := range seeds {
+		var buf bytes.Buffer
+		if err := wire.WriteGob(&buf, FrameRequest, req); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{FrameRequest, 0, 0, 0, 4, 0, 0, 0, 0, 1, 2, 3, 4})
+
+	s := fuzzServer()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req := new(Request)
+		if err := wire.ReadGob(bytes.NewReader(data), FrameRequest, 1<<20, req); err != nil {
+			return // rejected at the wire: exactly what hostile bytes should get
+		}
+		// Cap the work a decoded request may describe — the fuzzer's job is
+		// crashing the decoder and the validators, not factorizing whatever
+		// huge random matrix happens to parse.
+		if m := req.Matrix; m != nil && (m.N > 64 || m.M > 64 || len(m.RowPtr) > 4096 || len(m.ColInd) > 4096 || len(m.Val) > 4096) {
+			return
+		}
+		if len(req.B) > 4096 || len(req.Values) > 4096 {
+			return
+		}
+		resp := s.process(req)
+		if resp == nil {
+			t.Fatal("process returned nil response")
+		}
+	})
+}

@@ -56,12 +56,16 @@ func newMetrics(s *Server) *metrics {
 		func() float64 { _, _, n := s.cache.counters(); return float64(n) })
 	reg.GaugeFunc("sstar_server_handles",
 		"Live factorization handles.",
-		func() float64 {
-			s.mu.Lock()
-			n := len(s.handles)
-			s.mu.Unlock()
-			return float64(n)
-		})
+		func() float64 { n, _, _ := s.reg.stats(); return float64(n) })
+	reg.GaugeFunc("sstar_server_handle_bytes",
+		"Estimated bytes held by live handles (bounded by the memory budget).",
+		func() float64 { _, b, _ := s.reg.stats(); return float64(b) })
+	reg.CounterFunc("sstar_server_handle_evictions_total",
+		"Handles evicted by the memory budget (LRU) or idle TTL.",
+		func() float64 { _, _, ev := s.reg.stats(); return float64(ev) })
+	reg.CounterFunc("sstar_server_sheds_total",
+		"Requests refused by admission control: queue wait exceeded the deadline, or shutdown.",
+		func() float64 { return float64(s.sheds.Load()) })
 	reg.GaugeFunc("sstar_server_queue_depth",
 		"Requests waiting for a worker.",
 		func() float64 { return float64(len(s.jobs)) })

@@ -17,6 +17,8 @@
 package server
 
 import (
+	"errors"
+
 	"sstar"
 )
 
@@ -51,6 +53,21 @@ const (
 	OpFree        Op = 5 // Handle -> release the factorization
 	OpStats       Op = 6 // -> ServerStats snapshot
 )
+
+// Idempotent reports whether repeating the operation after an ambiguous
+// transport failure is safe: executing it twice yields the same server state
+// and the same answer. Factorize is excluded (each execution allocates a new
+// handle) and so is Free (a repeat answers "unknown handle"). The client's
+// retry policy and its stale-connection redial consult this — a shed
+// (CodeOverloaded) is retry-safe for every op because the server guarantees a
+// shed request never executed.
+func (o Op) Idempotent() bool {
+	switch o {
+	case OpPing, OpStats, OpSolve, OpRefactorize:
+		return true
+	}
+	return false
+}
 
 // String names the operation for logs and reports.
 func (o Op) String() string {
@@ -91,6 +108,14 @@ type Request struct {
 
 	// OpSolve: the right-hand side.
 	B []float64
+
+	// TimeoutNs is the request's deadline header: the client's remaining
+	// time budget, in nanoseconds, measured at send time (relative, so no
+	// clock synchronization is assumed). Zero means no deadline. The server
+	// sheds the request with CodeOverloaded instead of running it when its
+	// queue wait alone would exceed the budget — work that cannot finish in
+	// time is refused early rather than executed late.
+	TimeoutNs int64
 }
 
 // RequestStats is the per-request cost split the server reports with every
@@ -135,6 +160,16 @@ type ServerStats struct {
 	// other half of the Workers × FactorWorkers core split.
 	FactorWorkers int
 	QueueDepth    int // requests waiting for a worker at snapshot time
+	// Sheds counts requests refused by admission control: their queue wait
+	// exceeded (or would exceed) the deadline they carried, or the server
+	// was shutting down. A shed request was never executed.
+	Sheds int64
+	// Evictions counts handles removed by the registry's memory budget
+	// (LRU) or idle TTL rather than by an explicit Free.
+	Evictions int64
+	// HandleBytes estimates the memory held by live handles (factor
+	// storage plus retained pattern), the quantity the MemBudget bounds.
+	HandleBytes int64
 }
 
 // HitRate returns the analysis-cache hit rate in [0,1], 0 when no factorize
@@ -147,14 +182,114 @@ func (s ServerStats) HitRate() float64 {
 	return float64(s.CacheHits) / float64(total)
 }
 
+// Code classifies a failed Response so clients can branch on the failure
+// class (retry, re-factorize, give up) without parsing the message string.
+// CodeNone marks both successes and legacy/uncategorized errors.
+type Code uint8
+
+// Failure classes of the service protocol.
+const (
+	CodeNone       Code = 0 // success, or an error with no class (message only)
+	CodeSingular   Code = 1 // the submitted values are numerically singular
+	CodeBadHandle  Code = 2 // unknown handle: never created, freed, or a pre-restart handle
+	CodeOverloaded Code = 3 // shed before execution (deadline would expire in queue, or shutdown)
+	CodeEvicted    Code = 4 // handle evicted by the memory budget or TTL; factors are gone
+	CodeInternal   Code = 5 // recovered panic inside the server
+)
+
+// Sentinel returns the root-package sentinel error of the code, nil for
+// CodeNone or an unknown code.
+func (c Code) Sentinel() error {
+	switch c {
+	case CodeSingular:
+		return sstar.ErrSingular
+	case CodeBadHandle:
+		return sstar.ErrBadHandle
+	case CodeOverloaded:
+		return sstar.ErrOverloaded
+	case CodeEvicted:
+		return sstar.ErrHandleEvicted
+	case CodeInternal:
+		return sstar.ErrInternal
+	}
+	return nil
+}
+
+// String names the code for logs.
+func (c Code) String() string {
+	switch c {
+	case CodeNone:
+		return "none"
+	case CodeSingular:
+		return "singular"
+	case CodeBadHandle:
+		return "bad-handle"
+	case CodeOverloaded:
+		return "overloaded"
+	case CodeEvicted:
+		return "evicted"
+	case CodeInternal:
+		return "internal"
+	}
+	return "unknown"
+}
+
+// CodeOf classifies an error by unwrapping to the root-package sentinels —
+// the inverse of Code.Sentinel, applied by the server when it builds an error
+// response.
+func CodeOf(err error) Code {
+	switch {
+	case err == nil:
+		return CodeNone
+	case errors.Is(err, sstar.ErrSingular):
+		return CodeSingular
+	case errors.Is(err, sstar.ErrBadHandle):
+		return CodeBadHandle
+	case errors.Is(err, sstar.ErrOverloaded):
+		return CodeOverloaded
+	case errors.Is(err, sstar.ErrHandleEvicted):
+		return CodeEvicted
+	case errors.Is(err, sstar.ErrInternal):
+		return CodeInternal
+	}
+	return CodeNone
+}
+
+// RemoteError is a failed Response rehydrated on the client side: the
+// server's message verbatim plus its failure class. errors.Is matches it
+// against the root-package sentinel of its code, so a remote singular matrix
+// satisfies errors.Is(err, sstar.ErrSingular) exactly like a local one.
+type RemoteError struct {
+	Code Code
+	Msg  string
+}
+
+// Error returns the server's message.
+func (e *RemoteError) Error() string { return e.Msg }
+
+// Is reports whether target is the sentinel of the error's code.
+func (e *RemoteError) Is(target error) bool {
+	s := e.Code.Sentinel()
+	return s != nil && target == s
+}
+
 // Response is the server-to-client message. A non-empty Err means the
 // request failed; every other field is op-dependent.
 type Response struct {
 	Err    string
+	Code   Code         // failure class of Err (CodeNone for legacy/uncategorized errors)
 	Handle uint64       // OpFactorize: the new handle
 	N      int          // OpFactorize: matrix order (client-side convenience)
 	Nnz    int          // OpFactorize: pattern nonzeros (= required Values length for the fast path)
 	X      []float64    // OpSolve: the solution
 	Stats  RequestStats // cost split of this request
 	Server ServerStats  // OpStats
+}
+
+// Error returns the response's failure as a *RemoteError, nil on success.
+func (r *Response) Error() error {
+	if r.Err == "" {
+		return nil
+	}
+	return &RemoteError{Code: r.Code, Msg: r.Err}
 }

@@ -1,0 +1,199 @@
+package server
+
+import (
+	"container/list"
+	cryptorand "crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"sstar"
+)
+
+// handle is a live factorization owned by the registry. The RWMutex
+// serializes refactorizations (which swap the numeric factors) against
+// concurrent solves on the same handle.
+type handle struct {
+	mu     sync.RWMutex
+	f      *sstar.Factorization
+	n      int
+	rowPtr []int // pattern of the originally submitted matrix, kept for
+	colInd []int // the values-only refactorize fast path
+}
+
+// bytes estimates the memory the handle pins: the block factor storage
+// (values plus roughly one index word per entry) and the retained CSR
+// pattern. An estimate is enough — the budget is a shedding threshold, not an
+// allocator.
+func (h *handle) bytes() int64 {
+	return h.f.FillIn()*12 + int64(len(h.rowPtr)+len(h.colInd))*8
+}
+
+// maxTombstones bounds the evicted-id memory. Ids are monotone and never
+// reused, so a tombstone only exists to answer "evicted" instead of "unknown"
+// — beyond the bound the oldest evictions degrade to ErrBadHandle, which is
+// still a correct (if less precise) refusal.
+const maxTombstones = 4096
+
+// registry owns the live factorization handles and enforces the server's
+// retention policy:
+//
+//   - a memory budget (bytes, estimated per handle): inserting a handle that
+//     pushes the total over budget evicts least-recently-used handles first;
+//   - an idle TTL: handles untouched for the TTL are evicted by the server's
+//     sweeper.
+//
+// Eviction only unlinks the handle from the registry — an in-flight solve
+// holding the handle's lock finishes on its own reference and the garbage
+// collector reclaims the factors afterwards, so eviction never blocks behind
+// a running request. Evicted ids are remembered as tombstones (bounded) so
+// later operations on them fail with ErrHandleEvicted rather than the less
+// actionable ErrBadHandle.
+type registry struct {
+	mu     sync.Mutex
+	budget int64         // max estimated bytes; 0 = unlimited
+	ttl    time.Duration // idle eviction age; 0 = no TTL
+
+	next  uint64
+	live  map[uint64]*list.Element
+	ll    *list.List // front = most recently used
+	bytes int64
+
+	evictions int64
+	tombs     map[uint64]struct{}
+	tombQ     []uint64 // FIFO of tombstone ids for bounding
+
+	clock func() time.Time // injectable for tests
+}
+
+// regEntry is one live handle on the LRU list.
+type regEntry struct {
+	id       uint64
+	h        *handle
+	bytes    int64
+	lastUsed time.Time
+}
+
+func newRegistry(budget int64, ttl time.Duration) *registry {
+	r := &registry{
+		budget: budget,
+		ttl:    ttl,
+		live:   make(map[uint64]*list.Element),
+		ll:     list.New(),
+		tombs:  make(map[uint64]struct{}),
+		clock:  time.Now,
+	}
+	// Ids start at a random per-instance base (monotone from there). If they
+	// started at 1, a server restart would hand out the same ids again and a
+	// client still holding handles from the previous instance could silently
+	// solve against the wrong factors; with a random base a stale handle
+	// fails typed (ErrBadHandle) instead.
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err == nil {
+		r.next = binary.BigEndian.Uint64(b[:]) >> 2 // headroom: ids stay monotone
+	}
+	return r
+}
+
+// add registers h and returns its new id, evicting LRU handles if the budget
+// is now exceeded. The inserted handle itself is never evicted by its own
+// insertion — a single system larger than the whole budget still factorizes;
+// it just evicts everything idle around it.
+func (r *registry) add(h *handle) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.next++
+	id := r.next
+	el := r.ll.PushFront(&regEntry{id: id, h: h, bytes: h.bytes(), lastUsed: r.clock()})
+	r.live[id] = el
+	r.bytes += el.Value.(*regEntry).bytes
+	if r.budget > 0 {
+		for r.bytes > r.budget && r.ll.Len() > 1 {
+			r.evict(r.ll.Back())
+		}
+	}
+	return id
+}
+
+// get returns the handle for id, marking it most recently used. A missing id
+// is classified: evicted ids (while tombstoned) fail with ErrHandleEvicted,
+// everything else with ErrBadHandle.
+func (r *registry) get(id uint64) (*handle, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if el, ok := r.live[id]; ok {
+		e := el.Value.(*regEntry)
+		e.lastUsed = r.clock()
+		r.ll.MoveToFront(el)
+		return e.h, nil
+	}
+	if _, ok := r.tombs[id]; ok {
+		return nil, fmt.Errorf("%w (handle %d)", sstar.ErrHandleEvicted, id)
+	}
+	return nil, fmt.Errorf("%w %d", sstar.ErrBadHandle, id)
+}
+
+// free removes id on the owner's request. No tombstone is left — a freed
+// handle is gone by design, and later use is a caller bug (ErrBadHandle).
+func (r *registry) free(id uint64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	el, ok := r.live[id]
+	if !ok {
+		if _, t := r.tombs[id]; t {
+			return fmt.Errorf("%w (handle %d)", sstar.ErrHandleEvicted, id)
+		}
+		return fmt.Errorf("%w %d", sstar.ErrBadHandle, id)
+	}
+	e := el.Value.(*regEntry)
+	r.ll.Remove(el)
+	delete(r.live, id)
+	r.bytes -= e.bytes
+	return nil
+}
+
+// sweep evicts every handle idle past the TTL. Called periodically by the
+// server's sweeper goroutine; a no-op when no TTL is configured.
+func (r *registry) sweep() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ttl <= 0 {
+		return 0
+	}
+	cutoff := r.clock().Add(-r.ttl)
+	n := 0
+	for el := r.ll.Back(); el != nil; {
+		e := el.Value.(*regEntry)
+		if e.lastUsed.After(cutoff) {
+			break // list is LRU-ordered: everything further front is younger
+		}
+		prev := el.Prev()
+		r.evict(el)
+		n++
+		el = prev
+	}
+	return n
+}
+
+// evict unlinks el and tombstones its id. Caller holds r.mu.
+func (r *registry) evict(el *list.Element) {
+	e := el.Value.(*regEntry)
+	r.ll.Remove(el)
+	delete(r.live, e.id)
+	r.bytes -= e.bytes
+	r.evictions++
+	r.tombs[e.id] = struct{}{}
+	r.tombQ = append(r.tombQ, e.id)
+	for len(r.tombQ) > maxTombstones {
+		delete(r.tombs, r.tombQ[0])
+		r.tombQ = r.tombQ[1:]
+	}
+}
+
+// stats returns (live handles, estimated bytes, evictions so far).
+func (r *registry) stats() (n int, bytes, evictions int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ll.Len(), r.bytes, r.evictions
+}

@@ -39,6 +39,19 @@ type Config struct {
 	// wire.DefaultMaxPayload); oversized or corrupt-length frames fail the
 	// connection, never the server.
 	MaxFrame int
+	// MemBudget caps the estimated bytes held by live factorization
+	// handles (0 = unlimited). When a new handle pushes the total over
+	// budget, least-recently-used handles are evicted; operations on an
+	// evicted handle fail with ErrHandleEvicted (CodeEvicted).
+	MemBudget int64
+	// HandleTTL evicts handles idle (no solve/refactorize/lookup) for this
+	// long (0 = never). A background sweeper enforces it, so an abandoned
+	// handle — a client that died between factorize and free — cannot pin
+	// factors forever.
+	HandleTTL time.Duration
+	// DrainTimeout bounds how long Close waits for in-flight requests to
+	// finish before tearing connections down anyway (default 10s).
+	DrainTimeout time.Duration
 	// Logf, when set, receives one line per connection event and per
 	// failed request.
 	Logf func(format string, args ...any)
@@ -60,46 +73,50 @@ func (c Config) withDefaults() Config {
 	if c.MaxFrame <= 0 {
 		c.MaxFrame = wire.DefaultMaxPayload
 	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
 	return c
 }
 
-// handle is a live factorization owned by the registry. The RWMutex
-// serializes refactorizations (which swap the numeric factors) against
-// concurrent solves on the same handle.
-type handle struct {
-	mu     sync.RWMutex
-	f      *sstar.Factorization
-	n      int
-	rowPtr []int // pattern of the originally submitted matrix, kept for
-	colInd []int // the values-only refactorize fast path
-}
-
-// job is one queued request.
+// job is one queued request. A zero deadline means the request carried no
+// time budget and is processed whenever a worker frees up.
 type job struct {
 	req      *Request
 	enqueued time.Time
+	deadline time.Time
 	done     chan *Response
 }
 
 // Server is the sparse-solve service. Create with New, attach listeners
 // with Serve (one goroutine per listener), stop with Close.
+//
+// Shutdown is graceful: Close first refuses new requests (they are answered
+// in-band with CodeOverloaded, which retrying clients treat as "try again —
+// elsewhere or later"), then waits up to DrainTimeout for every request
+// already admitted to finish and have its response written back, and only
+// then tears the connections down.
 type Server struct {
 	cfg   Config
 	cache *analysisCache
+	reg   *registry
 	jobs  chan *job
-	quit  chan struct{}
-	wg    sync.WaitGroup
-	met   *metrics
+	stop  chan struct{} // closed first: gates submissions, accept loops, sweeper
+	quit  chan struct{} // closed after drain: workers exit
 
-	mu         sync.Mutex
-	handles    map[uint64]*handle
-	nextHandle uint64
-	listeners  map[net.Listener]struct{}
-	conns      map[net.Conn]struct{}
-	closed     bool
+	subWg    sync.WaitGroup // submissions past the admission gate
+	workerWg sync.WaitGroup // worker pool + sweeper
+	connWg   sync.WaitGroup // connection handlers
+	met      *metrics
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	closed    bool
 
 	requests     atomic.Int64
 	errors       atomic.Int64
+	sheds        atomic.Int64
 	factorizes   atomic.Int64
 	refactorizes atomic.Int64
 	solves       atomic.Int64
@@ -111,16 +128,21 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:       cfg,
 		cache:     newAnalysisCache(cfg.CacheEntries),
+		reg:       newRegistry(cfg.MemBudget, cfg.HandleTTL),
 		jobs:      make(chan *job, cfg.QueueDepth),
+		stop:      make(chan struct{}),
 		quit:      make(chan struct{}),
-		handles:   make(map[uint64]*handle),
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[net.Conn]struct{}),
 	}
 	s.met = newMetrics(s)
 	for i := 0; i < cfg.Workers; i++ {
-		s.wg.Add(1)
+		s.workerWg.Add(1)
 		go s.worker(i)
+	}
+	if cfg.HandleTTL > 0 {
+		s.workerWg.Add(1)
+		go s.sweeper()
 	}
 	return s
 }
@@ -128,6 +150,26 @@ func New(cfg Config) *Server {
 func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Logf != nil {
 		s.cfg.Logf(format, args...)
+	}
+}
+
+// sweeper enforces the handle TTL in the background, often enough that an
+// idle handle outlives its TTL by at most a quarter of it.
+func (s *Server) sweeper() {
+	defer s.workerWg.Done()
+	period := s.cfg.HandleTTL / 4
+	period = min(max(period, 10*time.Millisecond), time.Second)
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if n := s.reg.sweep(); n > 0 {
+				s.logf("server: evicted %d idle handles (ttl %v)", n, s.cfg.HandleTTL)
+			}
+		case <-s.stop:
+			return
+		}
 	}
 }
 
@@ -147,7 +189,7 @@ func (s *Server) Serve(l net.Listener) error {
 		conn, err := l.Accept()
 		if err != nil {
 			select {
-			case <-s.quit:
+			case <-s.stop:
 				return nil
 			default:
 				return err
@@ -161,13 +203,15 @@ func (s *Server) Serve(l net.Listener) error {
 		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
-		s.wg.Add(1)
+		s.connWg.Add(1)
 		go s.handleConn(conn)
 	}
 }
 
-// Close stops the server: listeners and connections are closed, workers are
-// stopped, queued requests are dropped.
+// Close shuts the server down gracefully: stop accepting, refuse new
+// requests in-band, drain requests already admitted (bounded by
+// DrainTimeout), stop the workers, then close every connection and wait for
+// the handlers. Safe to call more than once.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -175,15 +219,33 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
-	close(s.quit)
 	for l := range s.listeners {
 		l.Close()
 	}
+	s.mu.Unlock()
+	close(s.stop)
+
+	// Drain: every submission past the admission gate gets its response
+	// (workers are still running), bounded by DrainTimeout.
+	drained := make(chan struct{})
+	go func() {
+		s.subWg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-time.After(s.cfg.DrainTimeout):
+		s.logf("server: drain timeout (%v) — closing with requests in flight", s.cfg.DrainTimeout)
+	}
+
+	close(s.quit)
+	s.workerWg.Wait()
+	s.mu.Lock()
 	for c := range s.conns {
 		c.Close()
 	}
 	s.mu.Unlock()
-	s.wg.Wait()
+	s.connWg.Wait()
 	return nil
 }
 
@@ -192,7 +254,7 @@ func (s *Server) Close() error {
 // the connection; request-level errors are answered in-band and the
 // connection lives on — the server never dies on bad input.
 func (s *Server) handleConn(conn net.Conn) {
-	defer s.wg.Done()
+	defer s.connWg.Done()
 	defer func() {
 		conn.Close()
 		s.mu.Lock()
@@ -225,44 +287,111 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 }
 
-// submit queues the request on the worker pool and waits for its response.
-func (s *Server) submit(req *Request) *Response {
-	j := &job{req: req, enqueued: time.Now(), done: make(chan *Response, 1)}
-	select {
-	case s.jobs <- j:
-	case <-s.quit:
-		return &Response{Err: "server: shutting down"}
-	}
-	select {
-	case resp := <-j.done:
-		return resp
-	case <-s.quit:
-		return &Response{Err: "server: shutting down"}
-	}
+// errResponse classifies err against the root-package sentinels and carries
+// both the class and the message to the client.
+func errResponse(err error) *Response {
+	return &Response{Err: err.Error(), Code: CodeOf(err)}
 }
 
+// shed refuses a request without executing it, counting it on the shed,
+// request, and error counters.
+func (s *Server) shed(req *Request, queueNs int64, why string) *Response {
+	s.sheds.Add(1)
+	s.requests.Add(1)
+	s.errors.Add(1)
+	s.logf("server: shed %s: %s", req.Op, why)
+	resp := errResponse(fmt.Errorf("%w: %s", sstar.ErrOverloaded, why))
+	resp.Stats.QueueNs = queueNs
+	resp.Stats.Workers = s.cfg.Workers
+	return resp
+}
+
+// submit runs the admission gate, queues the request on the worker pool, and
+// waits for its response. Admission control: a request carrying a deadline
+// budget is refused — never executed late — when the queue cannot even
+// accept it before the budget runs out; the dequeue side applies the
+// matching check (see worker). Requests arriving after Close has begun are
+// refused in-band with CodeOverloaded.
+func (s *Server) submit(req *Request) *Response {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return s.shed(req, 0, "server shutting down")
+	}
+	s.subWg.Add(1)
+	s.mu.Unlock()
+	defer s.subWg.Done()
+
+	j := &job{req: req, enqueued: time.Now(), done: make(chan *Response, 1)}
+	if req.TimeoutNs > 0 {
+		j.deadline = j.enqueued.Add(time.Duration(req.TimeoutNs))
+	}
+	if j.deadline.IsZero() {
+		select {
+		case s.jobs <- j:
+		case <-s.stop:
+			return s.shed(req, 0, "server shutting down")
+		}
+	} else {
+		t := time.NewTimer(time.Until(j.deadline))
+		select {
+		case s.jobs <- j:
+			t.Stop()
+		case <-t.C:
+			return s.shed(req, time.Since(j.enqueued).Nanoseconds(), "queue full past the request deadline")
+		case <-s.stop:
+			t.Stop()
+			return s.shed(req, 0, "server shutting down")
+		}
+	}
+	// Every enqueued job is answered: workers keep running until the drain
+	// in Close has seen this submission complete.
+	return <-j.done
+}
+
+// worker processes jobs until quit; after quit it drains whatever is still
+// queued (Close guarantees no new submissions by then) so no admitted
+// request is ever dropped.
 func (s *Server) worker(id int) {
-	defer s.wg.Done()
+	defer s.workerWg.Done()
 	for {
 		select {
 		case j := <-s.jobs:
-			queueNs := time.Since(j.enqueued).Nanoseconds()
-			t0 := time.Now()
-			resp := s.process(j.req)
-			processNs := time.Since(t0).Nanoseconds()
-			resp.Stats.QueueNs = queueNs
-			resp.Stats.Workers = s.cfg.Workers
-			s.requests.Add(1)
-			if resp.Err != "" {
-				s.errors.Add(1)
-				s.logf("server: %s failed: %s", j.req.Op, resp.Err)
-			}
-			s.met.observe(j.req.Op, id, queueNs, processNs, resp.Stats)
-			j.done <- resp
+			s.run(id, j)
 		case <-s.quit:
-			return
+			for {
+				select {
+				case j := <-s.jobs:
+					s.run(id, j)
+				default:
+					return
+				}
+			}
 		}
 	}
+}
+
+// run executes one dequeued job. A job whose deadline already passed while
+// it queued is shed here — the client stopped waiting, so doing the work
+// would only delay requests that can still meet their deadlines.
+func (s *Server) run(id int, j *job) {
+	queueNs := time.Since(j.enqueued).Nanoseconds()
+	if !j.deadline.IsZero() && time.Now().After(j.deadline) {
+		j.done <- s.shed(j.req, queueNs, fmt.Sprintf("queue wait %v exceeded the request deadline", time.Duration(queueNs)))
+		return
+	}
+	t0 := time.Now()
+	resp := s.process(j.req)
+	processNs := time.Since(t0).Nanoseconds()
+	resp.Stats.QueueNs = queueNs
+	resp.Stats.Workers = s.cfg.Workers
+	s.requests.Add(1)
+	if resp.Err != "" {
+		s.errors.Add(1)
+		s.logf("server: %s failed (%s): %s", j.req.Op, resp.Code, resp.Err)
+	}
+	s.met.observe(j.req.Op, id, queueNs, processNs, resp.Stats)
+	j.done <- resp
 }
 
 // process executes one request. A panic anywhere below (a malformed matrix
@@ -271,7 +400,7 @@ func (s *Server) worker(id int) {
 func (s *Server) process(req *Request) (resp *Response) {
 	defer func() {
 		if p := recover(); p != nil {
-			resp = &Response{Err: fmt.Sprintf("server: internal panic: %v", p)}
+			resp = errResponse(fmt.Errorf("%w: recovered panic: %v", sstar.ErrInternal, p))
 			s.met.panics.Inc()
 			s.logf("server: panic in %s: %v\n%s", req.Op, p, debug.Stack())
 		}
@@ -320,7 +449,7 @@ func (s *Server) doFactorize(req *Request) *Response {
 		var err error
 		an, err = sstar.Analyze(a, opts)
 		if err != nil {
-			return &Response{Err: err.Error()}
+			return errResponse(err)
 		}
 		s.cache.add(key, an)
 	}
@@ -328,7 +457,7 @@ func (s *Server) doFactorize(req *Request) *Response {
 	t1 := time.Now()
 	f, err := an.FactorizeWith(a)
 	if err != nil {
-		return &Response{Err: err.Error()}
+		return errResponse(err)
 	}
 	stats.FactorNs = time.Since(t1).Nanoseconds()
 	h := &handle{
@@ -337,29 +466,15 @@ func (s *Server) doFactorize(req *Request) *Response {
 		rowPtr: append([]int(nil), a.RowPtr...),
 		colInd: append([]int(nil), a.ColInd...),
 	}
-	s.mu.Lock()
-	s.nextHandle++
-	id := s.nextHandle
-	s.handles[id] = h
-	s.mu.Unlock()
+	id := s.reg.add(h)
 	return &Response{Handle: id, N: a.N, Nnz: len(h.colInd), Stats: stats}
-}
-
-func (s *Server) lookup(id uint64) (*handle, *Response) {
-	s.mu.Lock()
-	h := s.handles[id]
-	s.mu.Unlock()
-	if h == nil {
-		return nil, &Response{Err: fmt.Sprintf("server: unknown handle %d", id)}
-	}
-	return h, nil
 }
 
 func (s *Server) doRefactorize(req *Request) *Response {
 	s.refactorizes.Add(1)
-	h, errResp := s.lookup(req.Handle)
-	if errResp != nil {
-		return errResp
+	h, err := s.reg.get(req.Handle)
+	if err != nil {
+		return errResponse(err)
 	}
 	m := req.Matrix
 	if m == nil {
@@ -373,40 +488,36 @@ func (s *Server) doRefactorize(req *Request) *Response {
 	stats.FactorWorkers = s.cfg.FactorWorkers
 	t0 := time.Now()
 	h.mu.Lock()
-	err := h.f.Refactorize(m)
+	err = h.f.Refactorize(m)
 	h.mu.Unlock()
 	stats.FactorNs = time.Since(t0).Nanoseconds()
 	if err != nil {
-		return &Response{Err: err.Error()}
+		return errResponse(err)
 	}
 	return &Response{Handle: req.Handle, N: h.n, Nnz: len(h.colInd), Stats: stats}
 }
 
 func (s *Server) doSolve(req *Request) *Response {
 	s.solves.Add(1)
-	h, errResp := s.lookup(req.Handle)
-	if errResp != nil {
-		return errResp
+	h, err := s.reg.get(req.Handle)
+	if err != nil {
+		return errResponse(err)
 	}
 	var stats RequestStats
 	t0 := time.Now()
 	h.mu.RLock()
-	x, err := h.f.Solve(req.B)
+	x, serr := h.f.Solve(req.B)
 	h.mu.RUnlock()
 	stats.SolveNs = time.Since(t0).Nanoseconds()
-	if err != nil {
-		return &Response{Err: err.Error()}
+	if serr != nil {
+		return errResponse(serr)
 	}
 	return &Response{Handle: req.Handle, X: x, Stats: stats}
 }
 
 func (s *Server) doFree(req *Request) *Response {
-	s.mu.Lock()
-	_, ok := s.handles[req.Handle]
-	delete(s.handles, req.Handle)
-	s.mu.Unlock()
-	if !ok {
-		return &Response{Err: fmt.Sprintf("server: unknown handle %d", req.Handle)}
+	if err := s.reg.free(req.Handle); err != nil {
+		return errResponse(err)
 	}
 	return &Response{}
 }
@@ -414,9 +525,7 @@ func (s *Server) doFree(req *Request) *Response {
 // Stats snapshots the server counters.
 func (s *Server) Stats() ServerStats {
 	hit, miss, entries := s.cache.counters()
-	s.mu.Lock()
-	nHandles := len(s.handles)
-	s.mu.Unlock()
+	nHandles, handleBytes, evictions := s.reg.stats()
 	return ServerStats{
 		Requests:      s.requests.Load(),
 		Errors:        s.errors.Load(),
@@ -430,5 +539,8 @@ func (s *Server) Stats() ServerStats {
 		Workers:       s.cfg.Workers,
 		FactorWorkers: s.cfg.FactorWorkers,
 		QueueDepth:    len(s.jobs),
+		Sheds:         s.sheds.Load(),
+		Evictions:     evictions,
+		HandleBytes:   handleBytes,
 	}
 }

@@ -1,0 +1,49 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrame throws arbitrary byte streams at the frame decoder. The codec
+// faces the raw network, so the invariants are absolute: never panic, never
+// allocate past the caller's bound, and anything it does accept must survive
+// a re-encode/re-decode round trip bit-for-bit.
+func FuzzReadFrame(f *testing.F) {
+	// Well-formed frames of a few shapes, plus classic trouble: empty input,
+	// truncated header, a header announcing far more payload than follows,
+	// and a length field past the limit.
+	for _, payload := range [][]byte{nil, {0}, bytes.Repeat([]byte{0xA5}, 300)} {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, 0x2, payload); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0})
+	f.Add([]byte{1, 0, 0, 1, 0, 0, 0, 0, 0, 42})
+	f.Add([]byte{1, 0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0})
+
+	const limit = 1 << 16
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, payload, err := ReadFrame(bytes.NewReader(data), limit)
+		if err != nil {
+			return
+		}
+		if len(payload) > limit {
+			t.Fatalf("accepted %d-byte payload past the %d limit", len(payload), limit)
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, typ, payload); err != nil {
+			t.Fatalf("re-encode of accepted frame failed: %v", err)
+		}
+		typ2, payload2, err := ReadFrame(&buf, limit)
+		if err != nil {
+			t.Fatalf("re-decode of accepted frame failed: %v", err)
+		}
+		if typ2 != typ || !bytes.Equal(payload2, payload) {
+			t.Fatal("accepted frame did not round-trip")
+		}
+	})
+}
