@@ -1,10 +1,13 @@
 GO ?= go
 SERVE_ADDR ?= 127.0.0.1:7071
 
-.PHONY: check build test race chaos fuzz bench-kernels benchpar serve loadtest trace
+.PHONY: check tier1 build test race chaos fuzz bench-kernels bench-blocking benchpar serve loadtest trace
 
 check: ## gofmt + vet + build + tests + race detector (CI gate)
 	sh scripts/check.sh
+
+tier1: ## vet + build + full tests (the quick must-stay-green gate)
+	sh scripts/tier1.sh
 
 build:
 	$(GO) build ./...
@@ -25,6 +28,9 @@ fuzz: ## short fuzz smokes over the wire codec and the server request decoder
 
 bench-kernels: ## regenerate the tracked kernel benchmark report
 	$(GO) run ./cmd/sstar-bench -experiment kernels -out BENCH_kernels.json
+
+bench-blocking: ## refresh the fixed-vs-adaptive blocking section of BENCH_kernels.json
+	$(GO) run ./cmd/sstar-bench -experiment blocking -out BENCH_kernels.json
 
 benchpar: ## regenerate the tracked host-parallel factorization speedup report
 	$(GO) run ./cmd/sstar-bench -experiment hostpar -out BENCH_hostpar.json

@@ -89,6 +89,11 @@ func (an *Analysis) StaticFill() int { return an.sym.Static.NnzTotal() }
 // Blocks returns the number of supernode panels of the 2D partition.
 func (an *Analysis) Blocks() int { return an.sym.Partition.NB }
 
+// Blocking reports the panel blocking the analysis settled on. Like
+// everything else in an Analysis it is a pure function of the (pattern,
+// options) pair, so a cached Analysis carries its blocking choice.
+func (an *Analysis) Blocking() BlockingChoice { return blockingOf(an.sym) }
+
 // patternHash returns a 64-bit FNV-1a hash of the nonzero structure of a:
 // the order, the row pointers and the column indices. Values are excluded —
 // two matrices with the same pattern hash identically.

@@ -7,12 +7,13 @@
 //	sstar-bench -experiment table6 -scale 0.5   # one artifact, smaller inputs
 //	sstar-bench -experiment ablations -matrix goodwin
 //	sstar-bench -experiment kernels             # kernel GFLOP/s -> BENCH_kernels.json
+//	sstar-bench -experiment blocking            # fixed vs adaptive blocking sweep -> blocking section of BENCH_kernels.json
 //	sstar-bench -experiment hostpar             # wall-clock parallel factorization speedup -> BENCH_hostpar.json
 //	sstar-bench -experiment hostpar -procs 1,2,4,8,16   # custom worker sweep
 //	sstar-bench -trace out.json -matrix goodwin -procs 8  # Chrome trace of one run
 //
-// Experiments: kernels hostpar table1 table2 table3 table4 table5 table6
-// table7 fig16 fig17 fig18 ablations all.
+// Experiments: kernels blocking hostpar table1 table2 table3 table4 table5
+// table6 table7 fig16 fig17 fig18 ablations all.
 package main
 
 import (
@@ -95,6 +96,27 @@ func main() {
 			}
 			fmt.Printf("wrote %s\n", path)
 			return rep.Table(), nil
+		}},
+		{"blocking", func() (*bench.Table, error) {
+			results, err := bench.Blocking(cfg)
+			if err != nil {
+				return nil, err
+			}
+			// Refresh the blocking section of the tracked kernels artifact
+			// in place when it exists; the kernels experiment regenerates
+			// the whole file including this section.
+			path := outPath("BENCH_kernels.json")
+			if rep, rerr := bench.ReadKernelReport(path); rerr == nil {
+				rep.Blocking = results
+				rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+				if err := rep.WriteJSON(path); err != nil {
+					return nil, err
+				}
+				fmt.Printf("updated blocking section of %s\n", path)
+			} else {
+				fmt.Printf("note: %s not found or unreadable; run -experiment kernels to create it (sweep results printed only)\n", path)
+			}
+			return bench.BlockingTable(results, cfg), nil
 		}},
 		{"hostpar", func() (*bench.Table, error) {
 			rep, err := bench.Hostpar(cfg, parseProcs(bench.HostparWorkerCounts()))

@@ -25,8 +25,8 @@ func main() {
 		file  = flag.String("file", "", "Matrix Market file")
 		gen   = flag.String("gen", "", "benchmark matrix name")
 		scale = flag.Float64("scale", 1.0, "generator size multiplier")
-		bsize = flag.Int("bsize", 25, "supernode panel width")
-		amalg = flag.Int("r", 4, "amalgamation factor")
+		bsize = flag.Int("bsize", 0, "supernode panel width; 0 = structure-adaptive")
+		amalg = flag.Int("r", 0, "amalgamation factor; 0 under -bsize 0 = cost model chooses")
 		list  = flag.Bool("list", false, "list the benchmark suite and exit")
 	)
 	flag.Parse()
@@ -89,7 +89,11 @@ func main() {
 		fmt.Printf("dynamic baseline failed:   %v\n", err)
 	}
 	p := sym.Partition
-	fmt.Printf("\n2D L/U partition (BSIZE=%d, r=%d):\n", *bsize, *amalg)
+	if c := p.Choice; c.Adaptive {
+		fmt.Printf("\n2D L/U partition (adaptive: max width %d, r=%d, model cost %.3g):\n", c.MaxBlock, c.Amalgamate, c.ModelCost)
+	} else {
+		fmt.Printf("\n2D L/U partition (BSIZE=%d, r=%d):\n", *bsize, *amalg)
+	}
 	fmt.Printf("supernode panels:          %d (avg width %.2f)\n", p.NB, float64(p.N)/float64(p.NB))
 	var lblocks, ublocks int
 	for k := 0; k < p.NB; k++ {

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"sstar/internal/server"
+	"sstar/internal/xblas"
 )
 
 func main() {
@@ -44,9 +45,14 @@ func main() {
 		ttl      = flag.Duration("handle-ttl", 0, "evict handles idle for this long, e.g. 10m (0 = never)")
 		drain    = flag.Duration("drain", 10*time.Second, "max time to wait for in-flight requests on shutdown")
 		admin    = flag.String("admin", "", "HTTP admin listen address (/metrics, /debug/trace, /debug/pprof); empty disables")
+		autotune = flag.Bool("autotune", true, "measure the xblas kernels at startup and pick the best cache-block tile shape")
 		quiet    = flag.Bool("quiet", false, "suppress per-event logging")
 	)
 	flag.Parse()
+	if *autotune {
+		tc := xblas.Autotune()
+		log.Printf("sstar-serve: xblas autotune chose tile (mc=%d, nc=%d), gemm %.0fus trsm %.0fus", tc.MC, tc.NC, tc.GemmNs/1e3, tc.TrsmNs/1e3)
+	}
 	if *tcpAddr == "" && *unixPath == "" {
 		fmt.Fprintln(os.Stderr, "sstar-serve: need -tcp and/or -unix")
 		flag.Usage()

@@ -37,8 +37,8 @@ func main() {
 		mapping = flag.String("mapping", "seq", "seq | 1d-ca | 1d-rapid | 2d | 2d-sync")
 		procs   = flag.Int("p", 4, "processor count for parallel mappings")
 		mach    = flag.String("machine", "t3e", "virtual machine model: t3d | t3e")
-		bsize   = flag.Int("bsize", 25, "supernode panel width")
-		amalg   = flag.Int("r", 4, "amalgamation factor")
+		bsize   = flag.Int("bsize", 0, "supernode panel width; 0 = structure-adaptive")
+		amalg   = flag.Int("r", 0, "amalgamation factor; 0 under -bsize 0 = cost model chooses")
 		workers = flag.Int("workers", 0, "host goroutines for the numeric factor phase (seq mapping; 0 = sequential)")
 		ones    = flag.Bool("ones", false, "use b = A*1 instead of a random rhs (exact solution all ones)")
 		trace   = flag.String("trace", "", "write a Chrome trace JSON timeline of the run to this file")
@@ -147,6 +147,11 @@ func main() {
 	}
 	fmt.Printf("factor storage entries: %d (static fill %d), %d blocks\n",
 		fact.FillIn(), fact.StaticFill(), fact.Blocks())
+	if bc := fact.Blocking(); bc.Adaptive {
+		fmt.Printf("blocking: adaptive (max width %d, r=%d, %d panels)\n", bc.MaxBlock, bc.Amalgamate, bc.Panels)
+	} else {
+		fmt.Printf("blocking: fixed (bsize %d, r=%d, %d panels)\n", bc.MaxBlock, bc.Amalgamate, bc.Panels)
+	}
 	fmt.Printf("host wall-clock: %v\n", wall.Round(time.Microsecond))
 	if stats != nil {
 		fmt.Printf("virtual machine %s x %d (%s): parallel time %.4fs, %.1f MFLOPS, %d msgs, %d bytes, load balance %.3f\n",

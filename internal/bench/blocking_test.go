@@ -1,0 +1,36 @@
+package bench
+
+import "testing"
+
+// TestBlockingQuick runs the fixed-vs-adaptive sweep at reduced scale and
+// asserts the artifact's promises: a result per suite matrix, sane timings,
+// adaptive plans within the hard panel bound, and bitwise reproducibility of
+// the adaptive factorization.
+func TestBlockingQuick(t *testing.T) {
+	cfg := Config{Scale: 0.15, BSize: 25, Amalg: 4}
+	results, err := Blocking(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(Suite()) {
+		t.Fatalf("sweep covers %d matrices, want %d", len(results), len(Suite()))
+	}
+	for _, r := range results {
+		if r.FixedSeconds <= 0 || r.AdaptiveSeconds <= 0 || r.Speedup <= 0 {
+			t.Fatalf("%s: degenerate timings %+v", r.Matrix, r)
+		}
+		if r.FixedPanels <= 0 || r.AdaptivePanels <= 0 {
+			t.Fatalf("%s: degenerate panel counts %+v", r.Matrix, r)
+		}
+		if r.AdaptiveMaxBlock <= 0 || r.AdaptiveMaxBlock > 64 {
+			t.Fatalf("%s: adaptive max block %d outside (0, 64]", r.Matrix, r.AdaptiveMaxBlock)
+		}
+		if !r.BitIdentical {
+			t.Fatalf("%s: adaptive factors not reproducible bitwise", r.Matrix)
+		}
+	}
+	tbl := BlockingTable(results, cfg)
+	if len(tbl.Rows) != len(results) {
+		t.Fatalf("table has %d rows, want %d", len(tbl.Rows), len(results))
+	}
+}

@@ -24,6 +24,10 @@ type HostparPoint struct {
 	// pivot sequence) matched the sequential factorization bit for bit —
 	// the executor's determinism contract, verified per measurement.
 	BitIdentical bool `json:"bit_identical"`
+	// Oversubscribed marks points with more workers than physical CPUs:
+	// their "speedup" measures goroutine scheduling overhead, not the
+	// executor, and must not be read as a scaling result.
+	Oversubscribed bool `json:"oversubscribed,omitempty"`
 }
 
 // HostparMatrix is the speedup curve of one suite matrix.
@@ -58,12 +62,14 @@ type HostparReport struct {
 }
 
 // HostparWorkerCounts returns the default worker sweep: 1, 2, 4, ...
-// doubling past NumCPU up to at least 8, so the curve shows both the scaling
-// region and the oversubscribed tail.
+// doubling up to NumCPU. The sweep deliberately stops at the physical core
+// count — points beyond it measure goroutine scheduling overhead, not the
+// executor, and a tracked artifact full of sub-1.0 "speedups" on a small
+// box misleads more than it informs. Callers that want the oversubscribed
+// tail pass explicit counts; those points carry the Oversubscribed flag.
 func HostparWorkerCounts() []int {
 	var out []int
-	top := max(8, runtime.NumCPU())
-	for w := 1; w <= top; w *= 2 {
+	for w := 1; w <= runtime.NumCPU(); w *= 2 {
 		out = append(out, w)
 	}
 	return out
@@ -123,11 +129,12 @@ func hostparMatrix(spec Spec, cfg Config, workerCounts []int) (HostparMatrix, er
 			return HostparMatrix{}, fmt.Errorf("%s workers=%d: %w", spec.Name, w, err)
 		}
 		m.Points = append(m.Points, HostparPoint{
-			Workers:      w,
-			Seconds:      sec,
-			MFLOPS:       mflops(fact.Fl.Total(), sec),
-			Speedup:      seqSec / sec,
-			BitIdentical: factorsEqual(seq, fact),
+			Workers:        w,
+			Seconds:        sec,
+			MFLOPS:         mflops(fact.Fl.Total(), sec),
+			Speedup:        seqSec / sec,
+			BitIdentical:   factorsEqual(seq, fact),
+			Oversubscribed: w > runtime.NumCPU(),
 		})
 	}
 	return m, nil
@@ -243,8 +250,12 @@ func (r *HostparReport) Table() *Table {
 				tasks = fmt.Sprintf("%d", m.Tasks)
 				seq = fmt.Sprintf("%.3f", m.SeqSeconds)
 			}
+			workers := fmt.Sprintf("%d", p.Workers)
+			if p.Oversubscribed {
+				workers += " (over)"
+			}
 			t.AddRow(name, order, tasks, seq,
-				fmt.Sprintf("%d", p.Workers),
+				workers,
 				fmt.Sprintf("%.3f", p.Seconds),
 				fmt.Sprintf("%.2f", p.Speedup),
 				fmt.Sprintf("%.0f", p.MFLOPS),

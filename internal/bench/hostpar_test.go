@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 )
 
@@ -68,7 +69,33 @@ func TestHostparWorkerCountsShape(t *testing.T) {
 			t.Fatalf("worker sweep must double: %v", ws)
 		}
 	}
-	if top := ws[len(ws)-1]; top < 8 {
-		t.Fatalf("worker sweep must reach at least 8: %v", ws)
+	// The default sweep never oversubscribes: points beyond NumCPU measure
+	// scheduler overhead, not the executor, and have no place in the
+	// tracked artifact.
+	if top := ws[len(ws)-1]; top > runtime.NumCPU() {
+		t.Fatalf("worker sweep exceeds NumCPU=%d: %v", runtime.NumCPU(), ws)
+	}
+}
+
+// TestHostparOversubscribedFlag pins that explicit worker counts past the
+// core count are marked, so a custom sweep cannot silently publish
+// misleading "speedups".
+func TestHostparOversubscribedFlag(t *testing.T) {
+	over := 2 * runtime.NumCPU()
+	cfg := Config{Scale: 0.1, BSize: 8, Amalg: 2}
+	rep, err := Hostpar(cfg, []int{1, over})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range rep.Matrices {
+		if len(m.Points) != 2 {
+			t.Fatalf("%s: %d points, want 2", m.Matrix, len(m.Points))
+		}
+		if m.Points[0].Oversubscribed {
+			t.Fatalf("%s: 1 worker flagged oversubscribed", m.Matrix)
+		}
+		if !m.Points[1].Oversubscribed {
+			t.Fatalf("%s: %d workers on %d CPUs not flagged oversubscribed", m.Matrix, over, runtime.NumCPU())
+		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"net/http/pprof"
 
 	"sstar/internal/obs"
+	"sstar/internal/xblas"
 )
 
 // metrics bundles the server's observability surface: a Prometheus-style
@@ -75,6 +76,21 @@ func newMetrics(s *Server) *metrics {
 	reg.GaugeFunc("sstar_server_factor_workers",
 		"Factor-phase goroutines per request (the core-split knob).",
 		func() float64 { return float64(s.cfg.FactorWorkers) })
+	reg.GaugeFunc("sstar_blocking_max_block",
+		"Widest supernode panel of the most recent factorize's analysis.",
+		func() float64 { return float64(s.lastMaxBlock.Load()) })
+	reg.GaugeFunc("sstar_blocking_amalgamate",
+		"Amalgamation factor of the most recent factorize's analysis.",
+		func() float64 { return float64(s.lastAmalgamate.Load()) })
+	reg.GaugeFunc("sstar_blocking_adaptive",
+		"1 when the most recent factorize used structure-adaptive blocking.",
+		func() float64 { return float64(s.lastAdaptive.Load()) })
+	reg.GaugeFunc("sstar_xblas_tile_mc",
+		"Cache-block rows (mc) of the packed GEMM engine.",
+		func() float64 { mc, _ := xblas.TileShape(); return float64(mc) })
+	reg.GaugeFunc("sstar_xblas_tile_nc",
+		"Cache-block columns (nc) of the packed GEMM engine.",
+		func() float64 { _, nc := xblas.TileShape(); return float64(nc) })
 
 	m.queueWait = reg.Histogram("sstar_server_queue_wait_seconds",
 		"Time requests waited for a worker.")

@@ -120,6 +120,12 @@ type Server struct {
 	factorizes   atomic.Int64
 	refactorizes atomic.Int64
 	solves       atomic.Int64
+
+	// Blocking choice of the most recent factorize (cache hit or miss),
+	// exported as gauges so a blocking regression is visible on /metrics.
+	lastMaxBlock   atomic.Int64
+	lastAmalgamate atomic.Int64
+	lastAdaptive   atomic.Int64 // 1 when the last analysis used adaptive blocking
 }
 
 // New returns a running server (workers started, no listeners yet).
@@ -454,6 +460,14 @@ func (s *Server) doFactorize(req *Request) *Response {
 		s.cache.add(key, an)
 	}
 	stats.AnalyzeNs = time.Since(t0).Nanoseconds()
+	bc := an.Blocking()
+	s.lastMaxBlock.Store(int64(bc.MaxBlock))
+	s.lastAmalgamate.Store(int64(bc.Amalgamate))
+	if bc.Adaptive {
+		s.lastAdaptive.Store(1)
+	} else {
+		s.lastAdaptive.Store(0)
+	}
 	t1 := time.Now()
 	f, err := an.FactorizeWith(a)
 	if err != nil {

@@ -14,17 +14,25 @@ import (
 type Options struct {
 	// MaxBlock is the largest allowed block (supernode panel) size; the
 	// paper uses 25 on both T3D and T3E ("if the block size is too large,
-	// the available parallelism will be reduced").
+	// the available parallelism will be reduced"). MaxBlock <= 0 selects
+	// structure-adaptive blocking: panel widths and (unless pinned) the
+	// amalgamation factor are chosen per matrix by the cost model of
+	// adaptive.go instead of one global constant.
 	MaxBlock int
 	// Amalgamate is the relaxed-amalgamation factor r: merging two
 	// adjacent supernodes is allowed when it introduces at most r explicit
 	// zeros per column of the merged supernode. The paper reports r in 4..6
-	// as best; r = 0 disables amalgamation.
+	// as best. With a fixed MaxBlock, r = 0 disables amalgamation; under
+	// adaptive blocking (MaxBlock <= 0), r = 0 lets the cost model choose
+	// r too, while r > 0 pins it.
 	Amalgamate int
 }
 
-// DefaultOptions mirror the paper's experimental setup (BSIZE 25, r 4).
-func DefaultOptions() Options { return Options{MaxBlock: 25, Amalgamate: 4} }
+// DefaultOptions selects structure-adaptive blocking: the panel widths and
+// amalgamation factor are chosen per matrix at partition time. The paper's
+// fixed experimental setup (BSIZE 25, r 4) remains available by setting the
+// fields explicitly.
+func DefaultOptions() Options { return Options{} }
 
 // Partition is the 2D L/U supernode partition of an n-by-n static structure:
 // the same block boundaries cut both the columns and the rows, so the matrix
@@ -50,6 +58,26 @@ type Partition struct {
 	// i > b with L_ib nonzero. Sorted.
 	UBlocks [][]int32
 	LBlocks [][]int32
+
+	// Choice records how the blocking was selected (fixed options or the
+	// adaptive cost model), so analyses can report and cache the decision.
+	Choice Choice
+}
+
+// Choice describes the blocking a partition was built with. For a fixed
+// partition it echoes the options; for an adaptive one it reports what the
+// cost model picked.
+type Choice struct {
+	// Adaptive is true when the cost model chose the blocking.
+	Adaptive bool
+	// MaxBlock is the widest panel of the partition (the MaxBlock option
+	// for fixed blocking, the widest chosen panel for adaptive).
+	MaxBlock int
+	// Amalgamate is the relaxed-amalgamation factor used.
+	Amalgamate int
+	// ModelCost is the cost model's predicted factorization cost of the
+	// chosen blocking, in flop-equivalents (0 for fixed blocking).
+	ModelCost float64
 }
 
 // Size returns the number of columns of block b.
@@ -99,17 +127,29 @@ func (p *Partition) FlopWeightedWidth() float64 {
 
 // NewPartition builds the 2D L/U partition from a static symbolic
 // factorization: strict supernode detection, relaxed amalgamation, then
-// splitting into panels of at most MaxBlock columns.
+// splitting into panels of at most MaxBlock columns. MaxBlock <= 0 selects
+// the structure-adaptive path (adaptive.go), which chooses the amalgamation
+// factor and per-supernode panel widths from the symbolic structure — one
+// entry point either way, so every caller gets the explicit-override
+// semantics of Options for free.
 func NewPartition(st *symbolic.Static, o Options) *Partition {
 	if o.MaxBlock <= 0 {
-		o.MaxBlock = 25
+		return newAdaptivePartition(st, o)
 	}
-	n := st.N
 	bounds := detectSupernodes(st)
 	if o.Amalgamate > 0 {
 		bounds = amalgamate(st, bounds, o.Amalgamate)
 	}
 	bounds = split(bounds, o.MaxBlock)
+	p := buildPartition(st, bounds)
+	p.Choice = Choice{MaxBlock: o.MaxBlock, Amalgamate: o.Amalgamate}
+	return p
+}
+
+// buildPartition materializes the partition for a final set of panel
+// boundaries: per-panel U/L structures and their block-granularity images.
+func buildPartition(st *symbolic.Static, bounds []int) *Partition {
+	n := st.N
 	nb := len(bounds) - 1
 	p := &Partition{
 		N:       n,
@@ -215,39 +255,67 @@ type superStruct struct {
 // at most r explicit zeros per column of the merged supernode (the paper's
 // O(n), permutation-free scheme of Section 3.3).
 func amalgamate(st *symbolic.Static, bounds []int, r int) []int {
-	ns := len(bounds) - 1
-	if ns <= 1 {
-		return bounds
+	ss := amalgamateStructs(st, bounds, r)
+	out := make([]int, 0, len(ss)+1)
+	out = append(out, 0)
+	for _, s := range ss {
+		out = append(out, s.hi)
 	}
-	build := func(lo, hi int) superStruct {
-		var uc, lr []int32
-		for c := lo; c < hi; c++ {
-			for _, j := range st.URows[c] {
-				if int(j) >= hi {
-					uc = append(uc, j)
-				}
-			}
-			for _, i := range st.LCols[c] {
-				if int(i) >= hi {
-					lr = append(lr, i)
-				}
+	return out
+}
+
+// buildStruct computes the trailing U/L structure of the column range
+// [lo, hi) treated as one supernode.
+func buildStruct(st *symbolic.Static, lo, hi int) superStruct {
+	var uc, lr []int32
+	for c := lo; c < hi; c++ {
+		for _, j := range st.URows[c] {
+			if int(j) >= hi {
+				uc = append(uc, j)
 			}
 		}
-		return superStruct{lo: lo, hi: hi, ucols: sortDedup(uc), lrows: sortDedup(lr)}
+		for _, i := range st.LCols[c] {
+			if int(i) >= hi {
+				lr = append(lr, i)
+			}
+		}
 	}
-	cur := build(bounds[0], bounds[1])
-	out := []int{0}
+	return superStruct{lo: lo, hi: hi, ucols: sortDedup(uc), lrows: sortDedup(lr)}
+}
+
+// buildStructs computes the structures of every supernode in bounds without
+// merging (the r = 0 view the adaptive chooser also evaluates).
+func buildStructs(st *symbolic.Static, bounds []int) []superStruct {
+	out := make([]superStruct, 0, len(bounds)-1)
+	for s := 0; s+1 < len(bounds); s++ {
+		out = append(out, buildStruct(st, bounds[s], bounds[s+1]))
+	}
+	return out
+}
+
+// amalgamateStructs runs the merge pass and returns the merged supernodes
+// with their trailing structures (the raw material of both the bounds-only
+// amalgamate above and the adaptive cost model).
+func amalgamateStructs(st *symbolic.Static, bounds []int, r int) []superStruct {
+	ns := len(bounds) - 1
+	if ns < 1 {
+		return nil
+	}
+	if r <= 0 {
+		return buildStructs(st, bounds)
+	}
+	cur := buildStruct(st, bounds[0], bounds[1])
+	var out []superStruct
 	for s := 1; s < ns; s++ {
-		next := build(bounds[s], bounds[s+1])
+		next := buildStruct(st, bounds[s], bounds[s+1])
 		if merged, ok := tryMerge(cur, next, r); ok {
 			cur = merged
 			continue
 		}
-		out = append(out, cur.hi)
+		out = append(out, cur)
 		cur = next
 	}
-	out = append(out, cur.hi)
-	return out
+	return append(out, cur)
 }
 
 // tryMerge evaluates merging adjacent supernodes a (left) and b (right);

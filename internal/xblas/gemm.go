@@ -33,17 +33,20 @@ import (
 	"sync"
 )
 
-// Tile constants of the engine. To re-tune for a new machine, adjust the
-// cache blocks (mcBlock rows of A, ncBlock columns of B per packed panel)
-// freely; the micro-tile shape mr×nr is fixed by the amd64 micro-kernel
-// (8 vector accumulators of 4 lanes), so changing it means updating
-// gemm_amd64.s and kernel4x8go together.
+// Tile constants of the engine. The micro-tile shape mr×nr is fixed by the
+// amd64 micro-kernel (8 vector accumulators of 4 lanes), so changing it
+// means updating gemm_amd64.s and kernel4x8go together. The cache blocks
+// (rows of A, columns of B per packed panel) are runtime state published by
+// autotune.go: every element of C is still accumulated over the full k
+// extent inside a single micro-kernel call and folded with one rounding, so
+// the cache-block shape never changes results — retiling is a pure
+// wall-clock knob (see Autotune).
 const (
 	mr = 4 // micro-tile rows (A-panel strip width)
 	nr = 8 // micro-tile columns (B-panel strip width)
 
-	mcBlock = 96  // A-panel rows per cache block (multiple of mr)
-	ncBlock = 256 // B-panel columns per cache block (multiple of nr)
+	defaultMCBlock = 96  // A-panel rows per cache block (multiple of mr)
+	defaultNCBlock = 256 // B-panel columns per cache block (multiple of nr)
 
 	// smallGemmFlops: at or below this many flops (2*m*n*k) the packing
 	// overhead outweighs the micro-kernel win and a direct FMA triple loop
@@ -104,6 +107,8 @@ func gemmEngine(m, n, k int, a []float64, lda int, b []float64, ldb int, c []flo
 		return
 	}
 	pb := packPool.Get().(*packBuf)
+	ts := tileCfg.Load()
+	mcBlock, ncBlock := ts.mc, ts.nc
 	for jc := 0; jc < n; jc += ncBlock {
 		ncb := min(ncBlock, n-jc)
 		ncbPad := roundUp(ncb, nr)

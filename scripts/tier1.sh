@@ -1,0 +1,10 @@
+#!/bin/sh
+# Tier-1 gate: the minimal must-stay-green checks run on every change —
+# static analysis, a clean build, and the full test suite. The heavier CI
+# gate (race detector, chaos suite, fuzz smokes, formatting) lives in
+# check.sh; tier-1 is the subset quick enough to run before every commit.
+set -eux
+
+go vet ./...
+go build ./...
+go test ./...

@@ -42,11 +42,17 @@ func NewCOO(n, m int) *COO { return sparse.NewCOO(n, m) }
 
 // Options configures the analyze and factorization phases.
 type Options struct {
-	// BlockSize is the maximum supernode panel width (default 25, the
-	// paper's choice on both T3D and T3E).
+	// BlockSize is the maximum supernode panel width. 0 (the default)
+	// selects structure-adaptive blocking: panel boundaries are chosen at
+	// analyze time from the symbolic structure by a flop-vs-overhead cost
+	// model (see DESIGN.md "Structure-adaptive blocking"). A positive
+	// value pins a fixed global width instead — 25 is the paper's choice
+	// on both T3D and T3E.
 	BlockSize int
-	// Amalgamate is the supernode amalgamation factor r (default 4; the
-	// paper reports r in 4..6 as best, 0 disables).
+	// Amalgamate is the supernode amalgamation factor r. Under adaptive
+	// blocking (BlockSize 0), 0 lets the cost model pick r per matrix and
+	// a positive value pins it. Under fixed blocking, r is used as given
+	// (the paper reports r in 4..6 as best; 0 disables amalgamation).
 	Amalgamate int
 	// SkipOrdering keeps the caller's row/column order instead of applying
 	// the maximum transversal + minimum degree preprocessing.
@@ -76,18 +82,20 @@ type Options struct {
 	Observer Observer
 }
 
-// DefaultOptions mirrors the paper's experimental configuration.
-func DefaultOptions() Options { return Options{BlockSize: 25, Amalgamate: 4} }
+// DefaultOptions selects structure-adaptive blocking: the analyze phase
+// chooses panel boundaries and the amalgamation factor per matrix from the
+// symbolic structure. PaperOptions pins the paper's fixed configuration.
+func DefaultOptions() Options { return Options{} }
+
+// PaperOptions mirrors the paper's experimental configuration: fixed panel
+// width 25 and amalgamation factor 4 for every matrix.
+func PaperOptions() Options { return Options{BlockSize: 25, Amalgamate: 4} }
 
 func (o Options) analyzeOptions() core.AnalyzeOptions {
-	bs := o.BlockSize
-	if bs <= 0 {
-		bs = 25
-	}
 	return core.AnalyzeOptions{
 		SkipOrdering: o.SkipOrdering,
 		Ordering:     o.Ordering,
-		Supernode:    supernode.Options{MaxBlock: bs, Amalgamate: o.Amalgamate},
+		Supernode:    supernode.Options{MaxBlock: o.BlockSize, Amalgamate: o.Amalgamate},
 		Obs:          sinkFor(o.Observer),
 	}
 }
@@ -237,6 +245,38 @@ func (f *Factorization) StaticFill() int { return f.sym.Static.NnzTotal() }
 
 // Blocks returns the number of supernode panels of the 2D partition.
 func (f *Factorization) Blocks() int { return f.sym.Partition.NB }
+
+// Blocking reports the panel blocking the factorization was built with.
+func (f *Factorization) Blocking() BlockingChoice { return blockingOf(f.sym) }
+
+// BlockingChoice describes the supernode blocking an analysis settled on —
+// either the fixed knobs the caller pinned or the outcome of the
+// structure-adaptive cost model.
+type BlockingChoice struct {
+	// Adaptive reports whether the boundaries came from the cost model.
+	Adaptive bool
+	// MaxBlock is the widest panel of the partition under adaptive
+	// blocking, or the configured maximum under fixed blocking.
+	MaxBlock int
+	// Amalgamate is the relaxed-amalgamation factor in effect.
+	Amalgamate int
+	// ModelCost is the cost model's flop-equivalent estimate for the
+	// chosen plan; 0 under fixed blocking.
+	ModelCost float64
+	// Panels is the panel count of the partition.
+	Panels int
+}
+
+func blockingOf(sym *core.Symbolic) BlockingChoice {
+	c := sym.Partition.Choice
+	return BlockingChoice{
+		Adaptive:   c.Adaptive,
+		MaxBlock:   c.MaxBlock,
+		Amalgamate: c.Amalgamate,
+		ModelCost:  c.ModelCost,
+		Panels:     sym.Partition.NB,
+	}
+}
 
 // MachineName selects a virtual machine cost model for parallel runs.
 type MachineName string
