@@ -1,7 +1,7 @@
 GO ?= go
 SERVE_ADDR ?= 127.0.0.1:7071
 
-.PHONY: check tier1 build test race chaos fuzz bench-kernels bench-blocking benchpar serve loadtest trace
+.PHONY: check tier1 build test race chaos cluster fuzz bench-kernels bench-blocking benchpar serve loadtest trace
 
 check: ## gofmt + vet + build + tests + race detector (CI gate)
 	sh scripts/check.sh
@@ -16,15 +16,20 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race . ./internal/machine ./internal/core ./internal/xblas ./internal/server ./internal/obs ./client
+	$(GO) test -race . ./internal/machine ./internal/core ./internal/xblas ./internal/server ./internal/obs ./client ./internal/cluster
 
 chaos: ## fault-injection suite: chaos conn/proxy tests + the end-to-end kill/restart workload, race detector on
 	$(GO) test -race -count=1 ./internal/chaos
 	$(GO) test -race -count=1 -run 'TestChaosEndToEnd' -timeout 600s ./internal/server
+	$(GO) test -race -count=1 -run 'TestClusterChaosFailover' -timeout 600s ./internal/cluster
 
-fuzz: ## short fuzz smokes over the wire codec and the server request decoder
+cluster: ## the sharded-cluster suite: ring placement, redirects, replication failover, scatter, chaos e2e — race detector on
+	$(GO) test -race -count=1 -timeout 600s ./internal/cluster
+
+fuzz: ## short fuzz smokes over the wire codec and the server request/response decoders
 	$(GO) test -run='^$$' -fuzz='^FuzzReadFrame$$' -fuzztime=10s ./internal/wire
 	$(GO) test -run='^$$' -fuzz='^FuzzRequestDecode$$' -fuzztime=10s ./internal/server
+	$(GO) test -run='^$$' -fuzz='^FuzzRedirectDecode$$' -fuzztime=10s ./internal/server
 
 bench-kernels: ## regenerate the tracked kernel benchmark report
 	$(GO) run ./cmd/sstar-bench -experiment kernels -out BENCH_kernels.json

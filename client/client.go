@@ -65,7 +65,12 @@ func WithMaxFrame(n int) Option { return func(c *Client) { c.maxFrame = n } }
 // retries are disabled and every failure surfaces immediately.
 func WithRetry(p RetryPolicy) Option { return func(c *Client) { c.retry = p.withDefaults() } }
 
-// Client is a connection-pooling client of one solver service.
+// Client is a connection-pooling client of one solver service — a single
+// server, a cluster shard, or a cluster router; the protocol is identical.
+// Connections are pooled per address because a cluster answer can redirect
+// the client to the shard that owns the work (CodeRedirect/CodeNotOwner):
+// the client follows the redirect transparently, dialing and pooling the new
+// address alongside the primary (see Metrics.Redirects).
 type Client struct {
 	network, addr string
 	maxIdle       int
@@ -74,7 +79,7 @@ type Client struct {
 	retry         RetryPolicy
 
 	mu     sync.Mutex
-	idle   []net.Conn
+	idle   map[string][]net.Conn // per target address
 	closed bool
 
 	met clientMetrics
@@ -91,24 +96,26 @@ func Dial(network, addr string, opts ...Option) (*Client, error) {
 		maxIdle:     4,
 		maxFrame:    wire.DefaultMaxPayload,
 		dialTimeout: 5 * time.Second,
+		idle:        make(map[string][]net.Conn),
 	}
 	for _, o := range opts {
 		o(c)
 	}
-	conn, err := c.dial()
+	conn, err := c.dial(addr)
 	if err != nil {
 		return nil, err
 	}
-	c.put(conn)
+	c.put(addr, conn)
 	return c, nil
 }
 
-// dial opens and handshakes a fresh connection.
-func (c *Client) dial() (net.Conn, error) {
+// dial opens and handshakes a fresh connection to addr (the primary, or a
+// shard a cluster redirect pointed at).
+func (c *Client) dial(addr string) (net.Conn, error) {
 	c.met.dials.Add(1)
-	conn, err := net.DialTimeout(c.network, c.addr, c.dialTimeout)
+	conn, err := net.DialTimeout(c.network, addr, c.dialTimeout)
 	if err != nil {
-		return nil, fmt.Errorf("client: dial %s %s: %w", c.network, c.addr, err)
+		return nil, fmt.Errorf("client: dial %s %s: %w", c.network, addr, err)
 	}
 	if err := wire.WriteGob(conn, server.FrameHello, server.Hello{Magic: server.ProtoMagic, Version: server.ProtoVersion}); err != nil {
 		conn.Close()
@@ -126,33 +133,34 @@ func (c *Client) dial() (net.Conn, error) {
 	return conn, nil
 }
 
-// get pops an idle connection or dials a new one. reused reports which: a
-// pooled connection may have died since it was pooled (a server restart, an
-// idle timeout on a middlebox), so failures on it are eligible for one
-// transparent redial (see doRoundTrip).
-func (c *Client) get() (conn net.Conn, reused bool, err error) {
+// get pops an idle connection to addr or dials a new one. reused reports
+// which: a pooled connection may have died since it was pooled (a server
+// restart, an idle timeout on a middlebox), so failures on it are eligible
+// for one transparent redial (see doRoundTrip).
+func (c *Client) get(addr string) (conn net.Conn, reused bool, err error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return nil, false, fmt.Errorf("client: closed")
 	}
-	if n := len(c.idle); n > 0 {
-		conn := c.idle[n-1]
-		c.idle = c.idle[:n-1]
+	if conns := c.idle[addr]; len(conns) > 0 {
+		conn := conns[len(conns)-1]
+		c.idle[addr] = conns[:len(conns)-1]
 		c.mu.Unlock()
 		c.met.reused.Add(1)
 		return conn, true, nil
 	}
 	c.mu.Unlock()
-	conn, err = c.dial()
+	conn, err = c.dial(addr)
 	return conn, false, err
 }
 
-// put returns a healthy connection to the pool (or closes it beyond maxIdle).
-func (c *Client) put(conn net.Conn) {
+// put returns a healthy connection to addr's pool (or closes it beyond
+// maxIdle per address).
+func (c *Client) put(addr string, conn net.Conn) {
 	c.mu.Lock()
-	if !c.closed && len(c.idle) < c.maxIdle {
-		c.idle = append(c.idle, conn)
+	if !c.closed && len(c.idle[addr]) < c.maxIdle {
+		c.idle[addr] = append(c.idle[addr], conn)
 		c.mu.Unlock()
 		return
 	}
@@ -168,8 +176,10 @@ func (c *Client) Close() error {
 	idle := c.idle
 	c.idle = nil
 	c.mu.Unlock()
-	for _, conn := range idle {
-		conn.Close()
+	for _, conns := range idle {
+		for _, conn := range conns {
+			conn.Close()
+		}
 	}
 	return nil
 }
@@ -193,6 +203,15 @@ type Handle struct {
 	id  uint64
 	n   int
 	nnz int
+	// key is the structure key the server stamped on the factorize
+	// response. Handle operations carry it as a placement hint so a cluster
+	// shard that doesn't hold the handle can answer with the owner's
+	// address (CodeNotOwner + Addr) instead of a bare bad-handle.
+	key uint64
+	// addr is the shard that executed the factorize (empty outside a
+	// cluster): handle operations start there instead of rediscovering the
+	// owner through a redirect on every call.
+	addr string
 }
 
 // Factorize submits a for analysis + factorization and returns a handle to
@@ -213,9 +232,21 @@ func (h *Handle) N() int { return h.n }
 // Refactorize values slice.
 func (h *Handle) Nnz() int { return h.nnz }
 
+// Key returns the structure key the server assigned to the handle's pattern
+// (0 when the server predates cluster support).
+func (h *Handle) Key() uint64 { return h.key }
+
 // Solve solves A x = b with the handle's current factors.
 func (h *Handle) Solve(b []float64) ([]float64, RequestStats, error) {
 	return h.SolveCtx(context.Background(), b)
+}
+
+// SolveMany solves NRHS right-hand sides stored column-major in b
+// (len(b) = N*nrhs) through the server's blocked BLAS-3 panel path; the
+// solutions come back in the same layout. Against a cluster router, wide
+// panels are scattered across the shards holding replicas of the factors.
+func (h *Handle) SolveMany(b []float64, nrhs int) ([]float64, RequestStats, error) {
+	return h.SolveManyCtx(context.Background(), b, nrhs)
 }
 
 // Refactorize replaces the handle's factors with a factorization of the same

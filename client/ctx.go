@@ -14,14 +14,15 @@ import (
 
 // clientMetrics is the client's own counter block (see Metrics).
 type clientMetrics struct {
-	requests atomic.Int64
-	errors   atomic.Int64
-	canceled atomic.Int64
-	dials    atomic.Int64
-	reused   atomic.Int64
-	retries  atomic.Int64
-	redials  atomic.Int64
-	sheds    atomic.Int64
+	requests  atomic.Int64
+	errors    atomic.Int64
+	canceled  atomic.Int64
+	dials     atomic.Int64
+	reused    atomic.Int64
+	retries   atomic.Int64
+	redials   atomic.Int64
+	sheds     atomic.Int64
+	redirects atomic.Int64
 }
 
 // Metrics is a snapshot of the client's local counters — the client-side
@@ -42,37 +43,75 @@ type Metrics struct {
 	Retries  int64 // retry attempts made by the retry policy
 	Redials  int64 // stale pooled connections replaced mid-call by a fresh dial
 	Sheds    int64 // responses answered sstar.ErrOverloaded (request refused, not executed)
+	// Redirects counts cluster redirect answers (CodeRedirect/CodeNotOwner)
+	// the client followed to a new target mid-call. Each one is a
+	// retry-with-new-target, not a failure: the refusing shard never
+	// executed the request and named the shard that will.
+	Redirects int64
 }
 
 // Metrics returns a snapshot of the client's counters. Safe to call
 // concurrently with requests.
 func (c *Client) Metrics() Metrics {
 	return Metrics{
-		Requests: c.met.requests.Load(),
-		Errors:   c.met.errors.Load(),
-		Canceled: c.met.canceled.Load(),
-		Dials:    c.met.dials.Load(),
-		Reused:   c.met.reused.Load(),
-		Retries:  c.met.retries.Load(),
-		Redials:  c.met.redials.Load(),
-		Sheds:    c.met.sheds.Load(),
+		Requests:  c.met.requests.Load(),
+		Errors:    c.met.errors.Load(),
+		Canceled:  c.met.canceled.Load(),
+		Dials:     c.met.dials.Load(),
+		Reused:    c.met.reused.Load(),
+		Retries:   c.met.retries.Load(),
+		Redials:   c.met.redials.Load(),
+		Sheds:     c.met.sheds.Load(),
+		Redirects: c.met.redirects.Load(),
 	}
 }
 
-// roundTripCtx runs one logical call: attempt, then — under the configured
-// RetryPolicy — retry with jittered backoff for exactly the failures that
-// are safe to repeat (see RetryPolicy). The context's deadline and
-// cancellation propagate into every attempt; the retry loop additionally
-// respects the policy's total time budget.
+// maxRedirectFollows bounds how many cluster redirects one logical call
+// follows, so a misconfigured fleet (shards pointing at each other) fails
+// typed instead of looping.
+const maxRedirectFollows = 8
+
+// roundTripCtx runs one logical call against the primary address.
 func (c *Client) roundTripCtx(ctx context.Context, req *server.Request) (*server.Response, error) {
+	resp, _, err := c.roundTripAt(ctx, req, "")
+	return resp, err
+}
+
+// roundTripAt runs one logical call: attempt at the preferred address (the
+// primary when empty), then — under the configured RetryPolicy — retry with
+// jittered backoff for exactly the failures that are safe to repeat (see
+// RetryPolicy). The context's deadline and cancellation propagate into every
+// attempt; the retry loop additionally respects the policy's total time
+// budget.
+//
+// Cluster redirects (CodeRedirect/CodeNotOwner naming the owning shard) are
+// followed inline, bounded by maxRedirectFollows, independent of the retry
+// policy: the refusing shard guarantees it never executed the request, so
+// re-aiming is always safe — it is a retry-with-new-target, not a failure.
+// Each policy retry restarts from the primary, so a call preferring a shard
+// that has since died falls back to the router (or a redirect) instead of
+// hammering the corpse. answeredAt is the address that finally answered.
+func (c *Client) roundTripAt(ctx context.Context, req *server.Request, preferred string) (resp *server.Response, answeredAt string, err error) {
 	c.met.requests.Add(1)
 	start := time.Now()
-	var resp *server.Response
-	var err error
+	target := preferred
+	if target == "" {
+		target = c.addr
+	}
 	for attempt := 0; ; attempt++ {
-		resp, err = c.doRoundTrip(ctx, req)
+		resp, err = c.doRoundTrip(ctx, req, target)
+		for hops := 0; err != nil && hops < maxRedirectFollows; hops++ {
+			var re *RemoteError
+			if !errors.As(err, &re) || (re.Code != server.CodeRedirect && re.Code != server.CodeNotOwner) ||
+				resp == nil || resp.Addr == "" || resp.Addr == target {
+				break
+			}
+			c.met.redirects.Add(1)
+			target = resp.Addr
+			resp, err = c.doRoundTrip(ctx, req, target)
+		}
 		if err == nil {
-			return resp, nil
+			return resp, target, nil
 		}
 		if errors.Is(err, sstar.ErrOverloaded) {
 			c.met.sheds.Add(1)
@@ -88,26 +127,27 @@ func (c *Client) roundTripCtx(ctx context.Context, req *server.Request) (*server
 			break
 		}
 		c.met.retries.Add(1)
+		target = c.addr
 	}
 	c.met.errors.Add(1)
 	if ctx.Err() != nil {
 		c.met.canceled.Add(1)
 	}
-	return resp, err
+	return resp, target, err
 }
 
-// doRoundTrip performs one attempt: send the request, read the response. A
-// transport failure on a *pooled* connection — the classic stale-connection
-// trap after a server restart — is healed transparently for idempotent
-// operations: the dead connection is dropped and the attempt repeated once
-// on a fresh dial. Non-idempotent operations (factorize, free) surface the
-// error instead, because the stale connection's failure mode is ambiguous
-// about whether the server executed the request.
-func (c *Client) doRoundTrip(ctx context.Context, req *server.Request) (*server.Response, error) {
-	resp, err, failedPooled := c.attempt(ctx, req)
+// doRoundTrip performs one attempt against addr: send the request, read the
+// response. A transport failure on a *pooled* connection — the classic
+// stale-connection trap after a server restart — is healed transparently for
+// idempotent operations: the dead connection is dropped and the attempt
+// repeated once on a fresh dial. Non-idempotent operations (factorize, free)
+// surface the error instead, because the stale connection's failure mode is
+// ambiguous about whether the server executed the request.
+func (c *Client) doRoundTrip(ctx context.Context, req *server.Request, addr string) (*server.Response, error) {
+	resp, err, failedPooled := c.attempt(ctx, req, addr)
 	if failedPooled && req.Op.Idempotent() && ctx.Err() == nil {
 		c.met.redials.Add(1)
-		resp, err, _ = c.attempt(ctx, req)
+		resp, err, _ = c.attempt(ctx, req, addr)
 	}
 	return resp, err
 }
@@ -115,11 +155,11 @@ func (c *Client) doRoundTrip(ctx context.Context, req *server.Request) (*server.
 // attempt is one wire exchange. failedPooled reports a transport failure on
 // a connection that came from the idle pool (never set for in-band server
 // errors, context failures, or failures on freshly dialed connections).
-func (c *Client) attempt(ctx context.Context, req *server.Request) (_ *server.Response, err error, failedPooled bool) {
+func (c *Client) attempt(ctx context.Context, req *server.Request, addr string) (_ *server.Response, err error, failedPooled bool) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("client: %w", err), false
 	}
-	conn, reused, err := c.get()
+	conn, reused, err := c.get(addr)
 	if err != nil {
 		return nil, err, false
 	}
@@ -172,10 +212,10 @@ func (c *Client) attempt(ctx context.Context, req *server.Request) (_ *server.Re
 			conn.Close()
 		} else {
 			conn.SetDeadline(time.Time{})
-			c.put(conn)
+			c.put(addr, conn)
 		}
 	} else {
-		c.put(conn)
+		c.put(addr, conn)
 	}
 	return resp, resp.Error(), false
 }
@@ -205,12 +245,23 @@ func (c *Client) FactorizeCtx(ctx context.Context, a *sstar.Matrix, o sstar.Opti
 	if err != nil {
 		return nil, RequestStats{}, err
 	}
-	return &Handle{c: c, id: resp.Handle, n: resp.N, nnz: resp.Nnz}, resp.Stats, nil
+	// resp.Addr/resp.Key are only stamped by cluster shards; against a
+	// single server they stay zero and the handle behaves as before.
+	return &Handle{c: c, id: resp.Handle, n: resp.N, nnz: resp.Nnz, key: resp.Key, addr: resp.Addr}, resp.Stats, nil
 }
 
 // SolveCtx is Solve bounded by ctx.
 func (h *Handle) SolveCtx(ctx context.Context, b []float64) ([]float64, RequestStats, error) {
-	resp, err := h.c.roundTripCtx(ctx, &server.Request{Op: server.OpSolve, Handle: h.id, B: b})
+	resp, _, err := h.c.roundTripAt(ctx, &server.Request{Op: server.OpSolve, Handle: h.id, Key: h.key, B: b}, h.addr)
+	if err != nil {
+		return nil, RequestStats{}, err
+	}
+	return resp.X, resp.Stats, nil
+}
+
+// SolveManyCtx is SolveMany bounded by ctx.
+func (h *Handle) SolveManyCtx(ctx context.Context, b []float64, nrhs int) ([]float64, RequestStats, error) {
+	resp, _, err := h.c.roundTripAt(ctx, &server.Request{Op: server.OpSolveMany, Handle: h.id, Key: h.key, B: b, NRHS: nrhs}, h.addr)
 	if err != nil {
 		return nil, RequestStats{}, err
 	}
@@ -219,7 +270,7 @@ func (h *Handle) SolveCtx(ctx context.Context, b []float64) ([]float64, RequestS
 
 // RefactorizeCtx is Refactorize bounded by ctx.
 func (h *Handle) RefactorizeCtx(ctx context.Context, values []float64) (RequestStats, error) {
-	resp, err := h.c.roundTripCtx(ctx, &server.Request{Op: server.OpRefactorize, Handle: h.id, Values: values})
+	resp, _, err := h.c.roundTripAt(ctx, &server.Request{Op: server.OpRefactorize, Handle: h.id, Key: h.key, Values: values}, h.addr)
 	if err != nil {
 		return RequestStats{}, err
 	}
@@ -228,7 +279,7 @@ func (h *Handle) RefactorizeCtx(ctx context.Context, values []float64) (RequestS
 
 // RefactorizeMatrixCtx is RefactorizeMatrix bounded by ctx.
 func (h *Handle) RefactorizeMatrixCtx(ctx context.Context, a *sstar.Matrix) (RequestStats, error) {
-	resp, err := h.c.roundTripCtx(ctx, &server.Request{Op: server.OpRefactorize, Handle: h.id, Matrix: a})
+	resp, _, err := h.c.roundTripAt(ctx, &server.Request{Op: server.OpRefactorize, Handle: h.id, Key: h.key, Matrix: a}, h.addr)
 	if err != nil {
 		return RequestStats{}, err
 	}
@@ -237,6 +288,6 @@ func (h *Handle) RefactorizeMatrixCtx(ctx context.Context, a *sstar.Matrix) (Req
 
 // FreeCtx is Free bounded by ctx.
 func (h *Handle) FreeCtx(ctx context.Context) error {
-	_, err := h.c.roundTripCtx(ctx, &server.Request{Op: server.OpFree, Handle: h.id})
+	_, _, err := h.c.roundTripAt(ctx, &server.Request{Op: server.OpFree, Handle: h.id, Key: h.key}, h.addr)
 	return err
 }

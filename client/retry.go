@@ -36,6 +36,10 @@ type Code = server.Code
 //     transport errors.
 //   - Typed non-retryable failures (singular matrix, bad handle, evicted
 //     handle, internal error) and context cancellation surface immediately.
+//   - Cluster redirects (CodeRedirect/CodeNotOwner) never reach the policy:
+//     they are followed inline to the shard the response names — a
+//     retry-with-new-target, counted in Metrics.Redirects — before retry
+//     classification happens, whether or not retries are enabled.
 //
 // Every retry dials afresh if needed — pooled connections poisoned by the
 // failed attempt are never reused.
@@ -92,6 +96,9 @@ func retryable(op server.Op, err error) bool {
 	if errors.As(err, &re) {
 		// In-band server answer: the request reached the server and was
 		// answered. Only a shed (never executed) is worth repeating.
+		// Redirect codes were already followed inline by roundTripAt; one
+		// surviving to this point carried no usable target, and repeating
+		// it at the same address would only be refused again.
 		return re.Code == server.CodeOverloaded
 	}
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {

@@ -7,11 +7,16 @@
 //
 //	sstar-load                                   # self-contained: in-process server
 //	sstar-load -addr 127.0.0.1:7071              # against a running sstar-serve
+//	sstar-load -addr 127.0.0.1:7071,127.0.0.1:7072  # multi-endpoint: clients spread round-robin
 //	sstar-load -clients 16 -duration 10s -nx 30  # heavier run
 //	sstar-load -patterns 4 -mix 1,3,6            # 4 structures; 10% fact / 30% refac / 60% solve
 //	sstar-load -addr ... -retries 4 -timeout 2s  # through sstar-chaos: retry + per-request deadline
+//	sstar-load -cluster 1,3                      # in-process cluster scaling bench (1 then 3 shards)
 //
-// The report lands in -out (default BENCH_service.json).
+// The report lands in -out (default BENCH_service.json). -cluster runs a
+// solve-heavy workload against an in-process router+shard fleet per listed
+// shard count and merges a "cluster" section into the report, leaving the
+// other sections untouched.
 package main
 
 import (
@@ -31,6 +36,7 @@ import (
 
 	"sstar"
 	"sstar/client"
+	"sstar/internal/cluster"
 	"sstar/internal/server"
 )
 
@@ -74,7 +80,7 @@ type report struct {
 
 func main() {
 	var (
-		addr     = flag.String("addr", "", "server address; empty starts an in-process server")
+		addr     = flag.String("addr", "", "server address(es), comma-separated for multi-endpoint; empty starts an in-process server")
 		network  = flag.String("network", "tcp", "server network (tcp or unix)")
 		clients  = flag.Int("clients", 8, "concurrent client connections")
 		duration = flag.Duration("duration", 5*time.Second, "load duration")
@@ -88,13 +94,22 @@ func main() {
 		cacheSz  = flag.Int("cache", 64, "in-process server analysis cache entries")
 		retries  = flag.Int("retries", 0, "client retry attempts per request (0 disables; sheds and idempotent transport failures only)")
 		timeout  = flag.Duration("timeout", 0, "per-request deadline (0 = none; set this when the path can stall, e.g. behind sstar-chaos)")
+		clusterN = flag.String("cluster", "", "comma-separated shard counts for the in-process cluster scaling bench (e.g. 1,3); merges a cluster section into -out and exits")
 		out      = flag.String("out", "BENCH_service.json", "report output path")
 	)
 	flag.Parse()
 
+	if *clusterN != "" {
+		runClusterBench(*clusterN, *clients, *duration, *patterns, *nx, *out)
+		return
+	}
+
 	weights := parseMix(*mix)
 
-	target := *addr
+	// Multi-endpoint mode: clients spread round-robin across the listed
+	// addresses (a shard fleet without a router, or several routers).
+	targets := strings.Split(*addr, ",")
+	target := targets[0]
 	net_ := *network
 	if target == "" {
 		s := server.New(server.Config{Workers: *workers, FactorWorkers: *factorW, CacheEntries: *cacheSz})
@@ -105,6 +120,7 @@ func main() {
 		go s.Serve(l)
 		defer s.Close()
 		target = l.Addr().String()
+		targets = []string{target}
 		net_ = "tcp"
 		st := s.Stats()
 		log.Printf("sstar-load: in-process server on %s (workers=%d factor-workers=%d cache=%d)", target, st.Workers, st.FactorWorkers, *cacheSz)
@@ -170,6 +186,7 @@ func main() {
 			// on a dead client, refactorize on a lost handle. A dropped
 			// handle may survive server-side; the server's TTL/budget
 			// eviction reclaims it.
+			myTarget := targets[ci%len(targets)]
 			var c *client.Client
 			var h *client.Handle
 			defer func() {
@@ -185,7 +202,7 @@ func main() {
 			}()
 			for time.Now().Before(deadline) {
 				if c == nil {
-					cc, err := client.Dial(net_, target, copts...)
+					cc, err := client.Dial(net_, myTarget, copts...)
 					if err != nil {
 						fail(err)
 						time.Sleep(20 * time.Millisecond)
@@ -285,6 +302,197 @@ func main() {
 	}
 	log.Printf("sstar-load: %d requests in %.2fs = %.0f req/s, p50 %.2fms p99 %.2fms, cache hit rate %.0f%%, core split %d workers x %d factor-workers, %d errors -> %s",
 		rep.Requests, rep.ElapsedS, rep.ThroughputRPS, rep.Latency.P50ms, rep.Latency.P99ms, 100*rep.Cache.HitRate, st.Workers, st.FactorWorkers, rep.Errors, *out)
+}
+
+// clusterRun is one shard-count measurement of the scaling bench.
+type clusterRun struct {
+	Shards       int     `json:"shards"`
+	Requests     int64   `json:"requests"`
+	Errors       int64   `json:"errors"`
+	ElapsedS     float64 `json:"elapsed_s"`
+	RPS          float64 `json:"rps"`
+	Failovers    int64   `json:"failovers"`
+	Scatters     int64   `json:"scatters"`
+	Replications int64   `json:"replications"`
+}
+
+// runClusterBench measures aggregate solve throughput through an in-process
+// router as the shard count grows, and merges the result into the report at
+// outPath as a "cluster" section (other sections are preserved).
+func runClusterBench(counts string, clients int, duration time.Duration, patterns, nx int, outPath string) {
+	var runs []clusterRun
+	for _, part := range strings.Split(counts, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			log.Fatalf("sstar-load: bad -cluster count %q", part)
+		}
+		runs = append(runs, benchFleet(n, clients, duration, patterns, nx))
+	}
+
+	section := map[string]any{
+		"config": map[string]any{
+			"clients":  clients,
+			"duration": duration.String(),
+			"patterns": patterns,
+			"nx":       nx,
+		},
+		"runs": runs,
+		"note": "in-process fleet: all shards share this machine's cores, so the scaling shown is placement/replication overhead, not added hardware; on one-core containers the curve is flat by construction",
+	}
+	// Merge, don't overwrite: the cluster section rides alongside whatever
+	// single-node report is already in the file.
+	doc := map[string]any{}
+	if data, err := os.ReadFile(outPath); err == nil {
+		json.Unmarshal(data, &doc)
+	}
+	doc["cluster"] = section
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatalf("sstar-load: %v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		log.Fatalf("sstar-load: %v", err)
+	}
+	for _, r := range runs {
+		log.Printf("sstar-load: cluster %d shard(s): %d requests in %.2fs = %.0f req/s (%d errors, %d failovers, %d scatters)",
+			r.Shards, r.Requests, r.ElapsedS, r.RPS, r.Errors, r.Failovers, r.Scatters)
+	}
+	log.Printf("sstar-load: cluster section merged into %s", outPath)
+}
+
+// benchFleet runs a solve-heavy workload against an in-process fleet of n
+// shards behind a router and reports aggregate throughput.
+func benchFleet(n, clients int, duration time.Duration, patterns, nx int) clusterRun {
+	// Listeners first so every shard knows the full advertised peer set.
+	listeners := make([]net.Listener, n)
+	peers := make([]string, n)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatalf("sstar-load: %v", err)
+		}
+		listeners[i] = l
+		peers[i] = l.Addr().String()
+	}
+	shards := make([]*cluster.Shard, n)
+	servers := make([]*server.Server, n)
+	for i := range listeners {
+		var hooks server.ClusterHooks
+		if n > 1 {
+			sh, err := cluster.NewShard(cluster.ShardConfig{Self: peers[i], Peers: peers})
+			if err != nil {
+				log.Fatalf("sstar-load: %v", err)
+			}
+			shards[i] = sh
+			hooks = sh
+		}
+		s := server.New(server.Config{Workers: 4, Cluster: hooks})
+		if shards[i] != nil {
+			shards[i].Bind(s)
+		}
+		servers[i] = s
+		go s.Serve(listeners[i])
+	}
+	r, err := cluster.NewRouter(cluster.RouterConfig{Shards: peers})
+	if err != nil {
+		log.Fatalf("sstar-load: %v", err)
+	}
+	rl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("sstar-load: %v", err)
+	}
+	go r.Serve(rl)
+	defer func() {
+		r.Close()
+		for i := range servers {
+			servers[i].Close()
+			if shards[i] != nil {
+				shards[i].Close()
+			}
+		}
+	}()
+
+	bases := make([]*sstar.Matrix, patterns)
+	for p := range bases {
+		bases[p] = sstar.GenGrid2D(nx+p, nx, p%2 == 1, sstar.GenOptions{Seed: int64(p + 1), Convection: 0.2})
+	}
+
+	var requests, errs int64
+	var mu sync.Mutex
+	deadline := time.Now().Add(duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(ci + 1)))
+			c, err := client.Dial("tcp", rl.Addr().String(), client.WithRetry(client.DefaultRetryPolicy()))
+			if err != nil {
+				mu.Lock()
+				errs++
+				mu.Unlock()
+				return
+			}
+			defer c.Close()
+			a := bases[ci%len(bases)]
+			h, _, err := c.Factorize(a, sstar.DefaultOptions())
+			if err != nil {
+				mu.Lock()
+				errs++
+				mu.Unlock()
+				return
+			}
+			defer h.Free()
+			var nreq, nerr int64
+			b := make([]float64, a.N)
+			wide := make([]float64, a.N*8)
+			for time.Now().Before(deadline) {
+				var err error
+				if rng.Intn(8) == 0 {
+					for i := range wide {
+						wide[i] = 2*rng.Float64() - 1
+					}
+					_, _, err = h.SolveMany(wide, 8)
+				} else {
+					for i := range b {
+						b[i] = 2*rng.Float64() - 1
+					}
+					_, _, err = h.Solve(b)
+				}
+				nreq++
+				if err != nil {
+					nerr++
+				}
+			}
+			mu.Lock()
+			requests += nreq
+			errs += nerr
+			mu.Unlock()
+		}(ci)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	_, _, failovers, scatters, _ := r.Stats()
+	var replications int64
+	for i := range servers {
+		replications += servers[i].Stats().Replications
+	}
+	run := clusterRun{
+		Shards:       n,
+		Requests:     requests,
+		Errors:       errs,
+		ElapsedS:     elapsed.Seconds(),
+		Failovers:    failovers,
+		Scatters:     scatters,
+		Replications: replications,
+	}
+	if elapsed > 0 {
+		run.RPS = float64(requests) / elapsed.Seconds()
+	}
+	return run
 }
 
 func parseMix(s string) [3]int {

@@ -1,0 +1,84 @@
+// Command sstar-router fronts a fleet of sstar-serve cluster shards with the
+// ordinary client protocol: clients connect to the router exactly as they
+// would to a single server, and the router places each request on the shard
+// that owns its structure (consistent hashing), follows redirects, fails
+// solves over to the replica when the owner dies — without refactorizing —
+// and scatters wide multi-RHS panels across replica holders.
+//
+// Usage:
+//
+//	sstar-router -tcp :7070 \
+//	    -shards 127.0.0.1:7071,127.0.0.1:7072,127.0.0.1:7073
+//
+// The -vnodes and -replicas flags must match the shards' configuration:
+// placement is a pure function of (membership, vnodes), computed
+// independently by router and shards.
+//
+// The router runs until SIGINT/SIGTERM.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"sstar/internal/cluster"
+)
+
+func main() {
+	var (
+		tcpAddr  = flag.String("tcp", ":7070", "TCP listen address for clients")
+		shards   = flag.String("shards", "", "comma-separated shard addresses (required)")
+		vnodes   = flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per shard on the placement ring (must match the shards)")
+		replicas = flag.Int("replicas", 2, "copies per structure including the owner (must match the shards)")
+		quiet    = flag.Bool("quiet", false, "suppress per-event logging")
+	)
+	flag.Parse()
+	if *shards == "" {
+		fmt.Fprintln(os.Stderr, "sstar-router: need -shards")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := cluster.RouterConfig{
+		Shards:   strings.Split(*shards, ","),
+		VNodes:   *vnodes,
+		Replicas: *replicas,
+	}
+	if !*quiet {
+		cfg.Logf = log.Printf
+	}
+	r, err := cluster.NewRouter(cfg)
+	if err != nil {
+		log.Fatalf("sstar-router: %v", err)
+	}
+
+	l, err := net.Listen("tcp", *tcpAddr)
+	if err != nil {
+		log.Fatalf("sstar-router: %v", err)
+	}
+	log.Printf("sstar-router: listening on %s, fronting %d shards (vnodes=%d replicas=%d)", l.Addr(), len(cfg.Shards), *vnodes, *replicas)
+
+	errc := make(chan error, 1)
+	go func() { errc <- r.Serve(l) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil {
+			log.Fatalf("sstar-router: %v", err)
+		}
+	case got := <-sig:
+		log.Printf("sstar-router: %v, shutting down", got)
+	}
+	r.Close()
+	requests, errs, failovers, scatters, redirects := r.Stats()
+	log.Printf("sstar-router: routed %d requests (%d errors), %d failovers, %d scatters, %d redirects followed",
+		requests, errs, failovers, scatters, redirects)
+}

@@ -11,6 +11,14 @@
 //	sstar-serve -tcp :7071 -workers 8 -cache 128  # bigger pool and cache
 //	sstar-serve -tcp :7071 -admin :8080           # + HTTP admin listener
 //
+// Cluster mode makes the process one shard of a multi-node fleet (see
+// DESIGN.md, "Cluster"): requests for structures placed elsewhere are
+// refused with typed redirects, factors are replicated asynchronously to
+// the ring successor, and cmd/sstar-router fronts the fleet:
+//
+//	sstar-serve -tcp :7071 -cluster-self 127.0.0.1:7071 \
+//	    -cluster-peers 127.0.0.1:7071,127.0.0.1:7072,127.0.0.1:7073
+//
 // The admin listener serves Prometheus metrics on /metrics, the most recent
 // request spans as Chrome trace JSON on /debug/trace, and the Go profiling
 // endpoints under /debug/pprof. It speaks plain HTTP with no auth — bind it
@@ -27,9 +35,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"sstar/internal/cluster"
 	"sstar/internal/server"
 	"sstar/internal/xblas"
 )
@@ -47,6 +57,11 @@ func main() {
 		admin    = flag.String("admin", "", "HTTP admin listen address (/metrics, /debug/trace, /debug/pprof); empty disables")
 		autotune = flag.Bool("autotune", true, "measure the xblas kernels at startup and pick the best cache-block tile shape")
 		quiet    = flag.Bool("quiet", false, "suppress per-event logging")
+
+		clusterSelf  = flag.String("cluster-self", "", "this shard's advertised address; enables cluster mode")
+		clusterPeers = flag.String("cluster-peers", "", "comma-separated advertised addresses of every shard (including self)")
+		vnodes       = flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per shard on the placement ring")
+		replicas     = flag.Int("replicas", 2, "copies per structure including the owner")
 	)
 	flag.Parse()
 	if *autotune {
@@ -70,7 +85,29 @@ func main() {
 	if !*quiet {
 		cfg.Logf = log.Printf
 	}
+	var shard *cluster.Shard
+	if *clusterSelf != "" {
+		shardCfg := cluster.ShardConfig{
+			Self:     *clusterSelf,
+			Peers:    strings.Split(*clusterPeers, ","),
+			VNodes:   *vnodes,
+			Replicas: *replicas,
+		}
+		if !*quiet {
+			shardCfg.Logf = log.Printf
+		}
+		var err error
+		shard, err = cluster.NewShard(shardCfg)
+		if err != nil {
+			log.Fatalf("sstar-serve: %v", err)
+		}
+		cfg.Cluster = shard
+		log.Printf("sstar-serve: cluster shard %s of %d peers (vnodes=%d replicas=%d)", *clusterSelf, len(shardCfg.Peers), *vnodes, *replicas)
+	}
 	s := server.New(cfg)
+	if shard != nil {
+		shard.Bind(s)
+	}
 
 	errc := make(chan error, 2)
 	serve := func(network, addr string) {
@@ -115,6 +152,9 @@ func main() {
 		log.Printf("sstar-serve: %v, shutting down", got)
 	}
 	s.Close()
+	if shard != nil {
+		shard.Close()
+	}
 	if *unixPath != "" {
 		os.Remove(*unixPath)
 	}

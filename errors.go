@@ -48,4 +48,16 @@ var (
 	// unexpected way (a recovered panic). The request may or may not have
 	// taken effect; treat it as not retryable.
 	ErrInternal = errors.New("sstar: internal service error")
+
+	// ErrRedirect reports a factorize sent to a cluster shard that does not
+	// own the matrix structure. The request was not executed; the response
+	// names the owning shard, and topology-aware clients re-send there
+	// (the client package follows these transparently).
+	ErrRedirect = errors.New("sstar: structure owned by another shard")
+
+	// ErrNotOwner reports a handle operation sent to a cluster shard that
+	// holds neither the handle nor a replica of it. The request was not
+	// executed; the response names the owning shard when the request
+	// carried a structure key.
+	ErrNotOwner = errors.New("sstar: handle owned by another shard")
 )

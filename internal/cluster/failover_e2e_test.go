@@ -1,0 +1,244 @@
+package cluster
+
+// The cluster chaos end-to-end: three shards whose advertised addresses ARE
+// fault-injecting proxies — every router→shard and shard→shard byte crosses
+// injected latency, fragmented writes, bit flips, and mid-frame resets —
+// with one shard killed in the middle of a concurrent solve workload. The
+// bar is the cluster's promise under faults:
+//
+//   - zero failed solves: every solve eventually succeeds through retries
+//     and failover;
+//   - every answer is bit-identical to a local sequential factorization of
+//     the same system (the replica serves the owner's factors, never its
+//     own refactorization — corruption may fail a request, never skew an
+//     answer);
+//   - no handle is refactorized by the failover, asserted via the surviving
+//     shards' factorize/refactorize counters.
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sstar"
+	"sstar/client"
+	"sstar/internal/chaos"
+	"sstar/internal/server"
+)
+
+func TestClusterChaosFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster chaos e2e takes seconds")
+	}
+	const shards = 3
+	systems := make([]*testSystem, 4)
+	for i := range systems {
+		systems[i] = buildSystem(t, 10+i)
+	}
+
+	// Upstream servers listen on hidden addresses; each shard's advertised
+	// address is its proxy, so the ring itself routes through the faults.
+	upstream := make([]net.Listener, shards)
+	proxies := make([]*chaos.Proxy, shards)
+	peers := make([]string, shards)
+	for i := range upstream {
+		ul, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		upstream[i] = ul
+		pl, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		real := ul.Addr().String()
+		proxies[i] = chaos.NewProxy(pl, func() (net.Conn, error) {
+			return net.DialTimeout("tcp", real, 2*time.Second)
+		}, chaos.Config{
+			Seed:         int64(9000 + i),
+			Latency:      200 * time.Microsecond,
+			PartialWrite: 0.15,
+			Corrupt:      0.01,
+			Reset:        0.005,
+		})
+		go proxies[i].Serve()
+		peers[i] = pl.Addr().String()
+	}
+	servers := make([]*server.Server, shards)
+	shardHooks := make([]*Shard, shards)
+	for i := range servers {
+		sh, err := NewShard(ShardConfig{Self: peers[i], Peers: peers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := server.New(server.Config{Workers: 2, FactorWorkers: 2, Cluster: sh})
+		sh.Bind(s)
+		go s.Serve(upstream[i])
+		servers[i], shardHooks[i] = s, sh
+	}
+	router, err := NewRouter(RouterConfig{Shards: peers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go router.Serve(rl)
+	t.Cleanup(func() {
+		router.Close()
+		for _, s := range servers {
+			s.Close()
+		}
+		for _, sh := range shardHooks {
+			sh.Close()
+		}
+		for _, p := range proxies {
+			p.Close()
+		}
+	})
+
+	c, err := client.Dial("tcp", rl.Addr().String(), client.WithRetry(client.DefaultRetryPolicy()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Factorize every system through the router, retrying through injected
+	// faults (a factorize whose response is lost is ambiguous by design; the
+	// retry just creates a second handle and the first idles harmlessly).
+	handles := make([]*client.Handle, len(systems))
+	for i, sys := range systems {
+		deadline := time.Now().Add(20 * time.Second)
+		for {
+			h, _, err := c.Factorize(sys.a, sstar.DefaultOptions())
+			if err == nil {
+				handles[i] = h
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("factorize system %d never succeeded: %v", i, err)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	// Wait until every handle has a replica somewhere other than its owner —
+	// the state a failover needs.
+	ownerOf := func(key uint64) int {
+		owner := shardHooks[0].ring.Owner(key)
+		for i, p := range peers {
+			if p == owner {
+				return i
+			}
+		}
+		return -1
+	}
+	for i, h := range handles {
+		owner := ownerOf(h.Key())
+		waitFor(t, fmt.Sprintf("replication of system %d", i), func() bool {
+			for j, s := range servers {
+				if j != owner && s.HasHandle(h.ID()) {
+					return true
+				}
+			}
+			return false
+		})
+	}
+
+	// Baseline: with replication done and no more factorizes issued, the
+	// survivors' factorize/refactorize counters must not move again.
+	victim := ownerOf(handles[0].Key())
+	var facBefore, refacBefore int64
+	for i, s := range servers {
+		if i == victim {
+			continue
+		}
+		st := s.Stats()
+		facBefore += st.Factorizes
+		refacBefore += st.Refactorizes
+	}
+
+	// The workload: one goroutine per system, a mix of single solves and
+	// NRHS=4 panels, every answer checked bit-exactly against the local
+	// reference. The victim dies once every worker is warmed up.
+	const solvesPerSystem = 20
+	var completed, failed atomic.Int64
+	var wg sync.WaitGroup
+	for i, sys := range systems {
+		wg.Add(1)
+		go func(i int, sys *testSystem, h *client.Handle) {
+			defer wg.Done()
+			wide := make([]float64, sys.a.N*4)
+			for k := range wide {
+				wide[k] = math.Cos(float64(k)*0.31 + float64(i))
+			}
+			wideRef, err := sys.f.SolveMany(wide, 4)
+			if err != nil {
+				t.Errorf("system %d: local SolveMany: %v", i, err)
+				return
+			}
+			for s := 0; s < solvesPerSystem; s++ {
+				deadline := time.Now().Add(20 * time.Second)
+				for {
+					var got, want []float64
+					var err error
+					if s%4 == 3 {
+						got, _, err = h.SolveMany(wide, 4)
+						want = wideRef
+					} else {
+						got, _, err = h.Solve(sys.b)
+						want = sys.xref
+					}
+					if err == nil {
+						if !bitIdentical(got, want) {
+							t.Errorf("system %d solve %d: answer differs from local reference", i, s)
+							failed.Add(1)
+						}
+						completed.Add(1)
+						break
+					}
+					if time.Now().After(deadline) {
+						t.Errorf("system %d solve %d: never succeeded: %v", i, s, err)
+						failed.Add(1)
+						break
+					}
+					time.Sleep(10 * time.Millisecond)
+				}
+			}
+		}(i, sys, handles[i])
+	}
+
+	// Kill the owner of system 0 once every worker has completed a few
+	// solves — mid-workload, not between phases.
+	waitFor(t, "warm-up solves", func() bool {
+		return completed.Load() >= int64(2*len(systems))
+	})
+	servers[victim].Close()
+	t.Logf("killed shard %d (%s) after %d solves", victim, peers[victim], completed.Load())
+	wg.Wait()
+
+	if n := failed.Load(); n != 0 {
+		t.Fatalf("%d solves failed or mismatched (of %d)", n, int64(len(systems))*solvesPerSystem)
+	}
+	var facAfter, refacAfter int64
+	for i, s := range servers {
+		if i == victim {
+			continue
+		}
+		st := s.Stats()
+		facAfter += st.Factorizes
+		refacAfter += st.Refactorizes
+	}
+	if facAfter != facBefore || refacAfter != refacBefore {
+		t.Errorf("failover refactorized: survivors' factorizes %d->%d, refactorizes %d->%d",
+			facBefore, facAfter, refacBefore, refacAfter)
+	}
+	if _, _, failovers, _, _ := router.Stats(); failovers < 1 {
+		t.Errorf("router failovers = %d, want >= 1 after killing an owner", failovers)
+	}
+}

@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// ringKeys is a deterministic key sample large enough for stable balance
+// statistics.
+func ringKeys(n int) []uint64 {
+	rng := rand.New(rand.NewSource(42))
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	return keys
+}
+
+func shardAddrs(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("10.0.0.%d:7071", i+1)
+	}
+	return out
+}
+
+// TestRingBalance: with 128 vnodes the keyspace spreads evenly — the
+// max/min ownership ratio across members stays under 1.3 for every fleet
+// size from 3 to 16.
+func TestRingBalance(t *testing.T) {
+	keys := ringKeys(200_000)
+	for shards := 3; shards <= 16; shards++ {
+		r := NewRing(128)
+		addrs := shardAddrs(shards)
+		for _, a := range addrs {
+			r.Add(a)
+		}
+		counts := make(map[string]int, shards)
+		for _, k := range keys {
+			counts[r.Owner(k)]++
+		}
+		if len(counts) != shards {
+			t.Fatalf("%d shards: only %d own any keys", shards, len(counts))
+		}
+		minC, maxC := len(keys), 0
+		for _, c := range counts {
+			minC = min(minC, c)
+			maxC = max(maxC, c)
+		}
+		ratio := float64(maxC) / float64(minC)
+		if ratio >= 1.3 {
+			t.Errorf("%d shards: ownership ratio %.3f (max %d / min %d), want < 1.3", shards, ratio, maxC, minC)
+		}
+	}
+}
+
+// TestRingDeterministicPlacement: placement is a pure function of the
+// membership set — insertion order must not matter, and two independent
+// rings over the same set must agree on every key. This is the property
+// that lets router, shards, and clients place without coordination.
+func TestRingDeterministicPlacement(t *testing.T) {
+	addrs := shardAddrs(7)
+	a := NewRing(128)
+	for _, s := range addrs {
+		a.Add(s)
+	}
+	b := NewRing(128)
+	for i := len(addrs) - 1; i >= 0; i-- {
+		b.Add(addrs[i])
+	}
+	for _, k := range ringKeys(10_000) {
+		if ao, bo := a.Owner(k), b.Owner(k); ao != bo {
+			t.Fatalf("key %#x: owner %q vs %q across insertion orders", k, ao, bo)
+		}
+		ar, br := a.Replicas(k, 3), b.Replicas(k, 3)
+		if len(ar) != 3 || len(br) != 3 {
+			t.Fatalf("key %#x: replica counts %d/%d, want 3", k, len(ar), len(br))
+		}
+		for i := range ar {
+			if ar[i] != br[i] {
+				t.Fatalf("key %#x: replica[%d] %q vs %q", k, i, ar[i], br[i])
+			}
+		}
+	}
+}
+
+// TestRingMinimalMovement: a join moves about 1/(n+1) of the keys (only
+// the keys landing on the new member's points), and a leave moves exactly
+// the departed member's keys. Nothing else may move — that is the point of
+// consistent hashing.
+func TestRingMinimalMovement(t *testing.T) {
+	keys := ringKeys(100_000)
+	addrs := shardAddrs(6)
+	r := NewRing(128)
+	for _, a := range addrs[:5] {
+		r.Add(a)
+	}
+	before := make([]string, len(keys))
+	for i, k := range keys {
+		before[i] = r.Owner(k)
+	}
+
+	// Join: every moved key must have moved TO the joiner.
+	r.Add(addrs[5])
+	moved := 0
+	for i, k := range keys {
+		now := r.Owner(k)
+		if now != before[i] {
+			moved++
+			if now != addrs[5] {
+				t.Fatalf("key %#x moved %q -> %q, not to the joiner", k, before[i], now)
+			}
+		}
+	}
+	frac := float64(moved) / float64(len(keys))
+	want := 1.0 / 6
+	if frac < want/2 || frac > want*2 {
+		t.Errorf("join moved %.3f of keys, want ~%.3f", frac, want)
+	}
+
+	// Leave: only the departed member's keys move.
+	after := make([]string, len(keys))
+	for i, k := range keys {
+		after[i] = r.Owner(k)
+	}
+	r.Remove(addrs[5])
+	for i, k := range keys {
+		now := r.Owner(k)
+		if after[i] == addrs[5] {
+			if now == addrs[5] {
+				t.Fatalf("key %#x still owned by removed member", k)
+			}
+		} else if now != after[i] {
+			t.Fatalf("key %#x moved %q -> %q though its owner stayed", k, after[i], now)
+		}
+	}
+}
+
+// TestRingReplicasDistinct: the replica list never repeats a member and
+// starts with the owner.
+func TestRingReplicasDistinct(t *testing.T) {
+	r := NewRing(64)
+	addrs := shardAddrs(5)
+	for _, a := range addrs {
+		r.Add(a)
+	}
+	for _, k := range ringKeys(5_000) {
+		reps := r.Replicas(k, 3)
+		if len(reps) != 3 {
+			t.Fatalf("key %#x: %d replicas, want 3", k, len(reps))
+		}
+		if reps[0] != r.Owner(k) {
+			t.Fatalf("key %#x: replicas[0]=%q, owner=%q", k, reps[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, m := range reps {
+			if seen[m] {
+				t.Fatalf("key %#x: duplicate replica %q", k, m)
+			}
+			seen[m] = true
+		}
+	}
+	// Asking for more copies than members returns every member once.
+	if got := len(r.Replicas(7, 99)); got != len(addrs) {
+		t.Fatalf("oversized replica request returned %d members, want %d", got, len(addrs))
+	}
+	// Empty ring: no owner, no replicas.
+	empty := NewRing(8)
+	if empty.Owner(1) != "" || empty.Replicas(1, 2) != nil {
+		t.Fatal("empty ring must place nothing")
+	}
+}

@@ -1,0 +1,417 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"sstar"
+	"sstar/internal/server"
+	"sstar/internal/wire"
+)
+
+// RouterConfig configures a Router.
+type RouterConfig struct {
+	// Shards lists every shard's advertised address — the same set every
+	// shard was configured with.
+	Shards []string
+	// VNodes and Replicas must match the shards' configuration (placement
+	// is a pure function of them; defaults match ShardConfig's).
+	VNodes   int
+	Replicas int
+	// Network is the dial network for shard links ("tcp" default).
+	Network string
+	// MaxFrame caps request and response frames.
+	MaxFrame int
+	// Logf, when set, receives routing diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Router speaks the ordinary client protocol in front of a shard fleet: it
+// hashes each request to its owning shard, follows redirects, fails handle
+// operations over to the replica when the owner is unreachable (counting
+// each as a failover — the solve that survived without refactorizing), and
+// scatters wide SolveMany panels across the shards holding replicas.
+//
+// Clients connect to the router exactly as they would to a single server —
+// same Hello, same frames, same response codes — so the fleet is a drop-in
+// replacement for one sstar-serve.
+type Router struct {
+	cfg   RouterConfig
+	ring  *Ring
+	peers *peers
+
+	placeMu sync.Mutex
+	place   map[uint64]uint64 // handle -> structure key, learned from factorize responses
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	closed    bool
+	stop      chan struct{}
+	connWg    sync.WaitGroup
+
+	requests  atomic.Int64
+	errors    atomic.Int64
+	failovers atomic.Int64
+	scatters  atomic.Int64
+	redirects atomic.Int64
+}
+
+// NewRouter builds a router over the given fleet.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("cluster: router needs at least one shard")
+	}
+	if cfg.VNodes < 1 {
+		cfg.VNodes = DefaultVNodes
+	}
+	if cfg.Replicas < 2 {
+		cfg.Replicas = 2
+	}
+	if cfg.Replicas > len(cfg.Shards) {
+		cfg.Replicas = len(cfg.Shards)
+	}
+	ring := NewRing(cfg.VNodes)
+	for _, s := range cfg.Shards {
+		ring.Add(s)
+	}
+	return &Router{
+		cfg:       cfg,
+		ring:      ring,
+		peers:     newPeers(cfg.Network, cfg.MaxFrame),
+		place:     make(map[uint64]uint64),
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
+		stop:      make(chan struct{}),
+	}, nil
+}
+
+func (r *Router) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}
+
+// Serve accepts client connections on l until the listener fails or the
+// router is closed. Blocks; run one goroutine per listener.
+func (r *Router) Serve(l net.Listener) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		l.Close()
+		return fmt.Errorf("cluster: router closed")
+	}
+	r.listeners[l] = struct{}{}
+	r.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-r.stop:
+				return nil
+			default:
+				return err
+			}
+		}
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		r.conns[conn] = struct{}{}
+		r.mu.Unlock()
+		r.connWg.Add(1)
+		go r.handleConn(conn)
+	}
+}
+
+// Close stops accepting, closes every connection, and releases shard links.
+func (r *Router) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	close(r.stop)
+	for l := range r.listeners {
+		l.Close()
+	}
+	for c := range r.conns {
+		c.Close()
+	}
+	r.mu.Unlock()
+	r.connWg.Wait()
+	r.peers.close()
+	return nil
+}
+
+// handleConn speaks the client protocol on one downstream connection.
+func (r *Router) handleConn(conn net.Conn) {
+	defer r.connWg.Done()
+	defer func() {
+		conn.Close()
+		r.mu.Lock()
+		delete(r.conns, conn)
+		r.mu.Unlock()
+	}()
+	var hello server.Hello
+	if err := wire.ReadGob(conn, server.FrameHello, 1<<16, &hello); err != nil {
+		return
+	}
+	if hello.Magic != server.ProtoMagic || hello.Version != server.ProtoVersion {
+		wire.WriteGob(conn, server.FrameResponse, &server.Response{Err: fmt.Sprintf("cluster: unsupported protocol %q v%d", hello.Magic, hello.Version)})
+		return
+	}
+	if err := wire.WriteGob(conn, server.FrameHello, server.Hello{Magic: server.ProtoMagic, Version: server.ProtoVersion}); err != nil {
+		return
+	}
+	maxFrame := r.peers.maxFrame
+	for {
+		req := new(server.Request)
+		if err := wire.ReadGob(conn, server.FrameRequest, maxFrame, req); err != nil {
+			return
+		}
+		resp := r.handle(req)
+		if resp == nil {
+			// Ambiguous failure of a non-idempotent op: the router cannot
+			// truthfully answer "executed" or "not executed", so it does
+			// what a dying server would — drop the connection and let the
+			// client's own idempotency rules decide what to retry.
+			return
+		}
+		if err := wire.WriteGob(conn, server.FrameResponse, resp); err != nil {
+			return
+		}
+	}
+}
+
+// keyOf returns the structure key recorded for handle (0 if unknown — e.g.
+// the handle was created through a different router).
+func (r *Router) keyOf(handle uint64) uint64 {
+	r.placeMu.Lock()
+	defer r.placeMu.Unlock()
+	return r.place[handle]
+}
+
+// handle routes one request. A nil response means an ambiguous non-idempotent
+// failure; the caller drops the client connection.
+func (r *Router) handle(req *server.Request) *server.Response {
+	r.requests.Add(1)
+	var resp *server.Response
+	switch req.Op {
+	case server.OpPing:
+		return &server.Response{}
+	case server.OpStats:
+		return &server.Response{Server: r.aggregateStats()}
+	case server.OpFactorize:
+		if req.Matrix == nil {
+			return &server.Response{Err: "cluster: factorize needs a matrix"}
+		}
+		key := sstar.StructureKey(req.Matrix, req.Opts)
+		resp = r.forward(req, r.ring.Replicas(key, r.cfg.Replicas))
+		if resp != nil && resp.Err == "" {
+			r.placeMu.Lock()
+			r.place[resp.Handle] = resp.Key
+			r.placeMu.Unlock()
+			// Strip the shard's advertised address: a client that learned it
+			// would aim handle ops at the shard directly, bypassing the one
+			// component that can fail them over and scatter them. Replica
+			// stays — it is informational.
+			resp.Addr = ""
+		}
+	case server.OpSolve, server.OpSolveMany, server.OpRefactorize, server.OpFree:
+		key := req.Key
+		if key == 0 {
+			key = r.keyOf(req.Handle)
+		}
+		req.Key = key
+		var candidates []string
+		if key != 0 {
+			candidates = r.ring.Replicas(key, r.cfg.Replicas)
+		} else {
+			// Unknown placement (handle predates this router): ask everyone
+			// in deterministic order; the holder answers, the rest refuse.
+			candidates = r.ring.Members()
+		}
+		if req.Op == server.OpSolveMany && key != 0 && req.NRHS >= 4 && len(candidates) >= 2 {
+			resp = r.scatterSolveMany(req, candidates)
+		} else {
+			resp = r.forward(req, candidates)
+		}
+		if req.Op == server.OpFree && resp != nil && resp.Err == "" {
+			r.placeMu.Lock()
+			delete(r.place, req.Handle)
+			r.placeMu.Unlock()
+		}
+	default:
+		// Replication pushes and unknown ops are shard-to-shard traffic; a
+		// router is the wrong audience.
+		return &server.Response{Err: fmt.Sprintf("cluster: router does not accept %s", req.Op)}
+	}
+	if resp != nil && resp.Err != "" {
+		r.errors.Add(1)
+	}
+	return resp
+}
+
+// maxRedirectHops bounds redirect following per candidate so a
+// misconfigured fleet (two shards pointing at each other) degrades to a
+// typed error instead of a loop.
+const maxRedirectHops = 4
+
+// handleOp reports whether op addresses an existing handle — the ops whose
+// completion on a non-first candidate counts as a failover.
+func handleOp(op server.Op) bool {
+	switch op {
+	case server.OpSolve, server.OpSolveMany, server.OpRefactorize, server.OpFree:
+		return true
+	}
+	return false
+}
+
+// forward tries candidates in placement order (owner first), following
+// redirects, until one executes the request. Transport failures move to the
+// next candidate when retrying is safe; in-band BadHandle/Evicted answers
+// also move on (the owner may have restarted and lost the handle the
+// replica still holds). Returns nil only for an ambiguous failure of a
+// non-idempotent op.
+func (r *Router) forward(req *server.Request, candidates []string) *server.Response {
+	var last *server.Response
+	var lastErr error
+	tried := 0
+	for i, addr := range candidates {
+		for hop := 0; hop < maxRedirectHops; hop++ {
+			resp, delivered, err := r.peers.call(addr, req)
+			tried++
+			if err != nil {
+				if delivered && !req.Op.Idempotent() {
+					r.logf("cluster: %s to %s failed after delivery: %v", req.Op, addr, err)
+					return nil
+				}
+				lastErr = err
+				break // next candidate
+			}
+			switch resp.Code {
+			case server.CodeRedirect, server.CodeNotOwner:
+				if resp.Addr != "" && resp.Addr != addr {
+					r.redirects.Add(1)
+					addr = resp.Addr
+					continue
+				}
+				last = resp
+			case server.CodeBadHandle, server.CodeEvicted:
+				// The replica may still hold what this shard lost.
+				last = resp
+			default:
+				if i > 0 && handleOp(req.Op) && resp.Err == "" {
+					r.failovers.Add(1)
+				}
+				return resp
+			}
+			break // refused in-band: next candidate
+		}
+	}
+	if last != nil {
+		return last
+	}
+	return &server.Response{
+		Err:  fmt.Sprintf("cluster: no shard reachable for %s (%d attempts, last: %v)", req.Op, tried, lastErr),
+		Code: server.CodeOverloaded,
+	}
+}
+
+// scatterSolveMany splits a wide multi-RHS panel across the first two
+// replica holders and gathers the halves. Each half keeps at least 2
+// columns so the blocked panel solve takes the same code path as the
+// unsplit call — which is what makes the gathered result bit-identical to a
+// single-shard SolveMany. Any failure of either half falls back to
+// forwarding the whole panel (SolveMany is idempotent, so the re-send is
+// safe).
+func (r *Router) scatterSolveMany(req *server.Request, candidates []string) *server.Response {
+	n := len(req.B) / req.NRHS
+	half := req.NRHS / 2
+	sub := [2]*server.Request{
+		{Op: server.OpSolveMany, Handle: req.Handle, Key: req.Key, B: req.B[:n*half], NRHS: half, TimeoutNs: req.TimeoutNs},
+		{Op: server.OpSolveMany, Handle: req.Handle, Key: req.Key, B: req.B[n*half:], NRHS: req.NRHS - half, TimeoutNs: req.TimeoutNs},
+	}
+	var resps [2]*server.Response
+	var errs [2]error
+	var wg sync.WaitGroup
+	for i := range sub {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, _, err := r.peers.call(candidates[i], sub[i])
+			resps[i], errs[i] = resp, err
+		}(i)
+	}
+	wg.Wait()
+	for i := range sub {
+		if errs[i] != nil || resps[i].Err != "" {
+			// One half failed — replica lagging, shard down, whatever: the
+			// whole panel goes through the ordinary failover path.
+			return r.forward(req, candidates)
+		}
+	}
+	r.scatters.Add(1)
+	x := make([]float64, 0, len(req.B))
+	x = append(x, resps[0].X...)
+	x = append(x, resps[1].X...)
+	out := *resps[0]
+	out.X = x
+	out.Stats.SolveNs = max(resps[0].Stats.SolveNs, resps[1].Stats.SolveNs)
+	return &out
+}
+
+// aggregateStats fans OpStats out to every shard and merges: counters sum,
+// the router's own counters ride on top. Unreachable shards are skipped —
+// the Shards field reports how many answered.
+func (r *Router) aggregateStats() server.ServerStats {
+	var agg server.ServerStats
+	reachable := 0
+	for _, addr := range r.ring.Members() {
+		resp, _, err := r.peers.call(addr, &server.Request{Op: server.OpStats})
+		if err != nil || resp.Err != "" {
+			continue
+		}
+		reachable++
+		st := resp.Server
+		agg.Requests += st.Requests
+		agg.Errors += st.Errors
+		agg.Factorizes += st.Factorizes
+		agg.Refactorizes += st.Refactorizes
+		agg.Solves += st.Solves
+		agg.CacheHits += st.CacheHits
+		agg.CacheMisses += st.CacheMisses
+		agg.CacheEntries += st.CacheEntries
+		agg.Coalesced += st.Coalesced
+		agg.Handles += st.Handles
+		agg.ReplicaHandles += st.ReplicaHandles
+		agg.Workers += st.Workers
+		if agg.FactorWorkers == 0 {
+			agg.FactorWorkers = st.FactorWorkers
+		}
+		agg.QueueDepth += st.QueueDepth
+		agg.Sheds += st.Sheds
+		agg.Evictions += st.Evictions
+		agg.HandleBytes += st.HandleBytes
+		agg.Redirects += st.Redirects
+		agg.Replications += st.Replications
+		agg.ReplicationPending += st.ReplicationPending
+	}
+	agg.Shards = reachable
+	agg.Redirects += r.redirects.Load()
+	agg.Failovers = r.failovers.Load()
+	agg.Scatters = r.scatters.Load()
+	return agg
+}
+
+// Stats returns the router's own counters (requests seen, failovers,
+// scatters, redirect follows) without contacting the shards.
+func (r *Router) Stats() (requests, errors, failovers, scatters, redirects int64) {
+	return r.requests.Load(), r.errors.Load(), r.failovers.Load(), r.scatters.Load(), r.redirects.Load()
+}

@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"sstar/internal/server"
+	"sstar/internal/wire"
+)
+
+// peers is a per-address pool of handshaked connections to other cluster
+// processes (shards from the router, the successor from a shard's
+// replicator). One call = one request/response exchange under a deadline; a
+// connection that fails any exchange is closed, never pooled.
+type peers struct {
+	network     string
+	dialTimeout time.Duration
+	callTimeout time.Duration
+	maxFrame    int
+
+	mu     sync.Mutex
+	idle   map[string][]net.Conn
+	closed bool
+}
+
+func newPeers(network string, maxFrame int) *peers {
+	if network == "" {
+		network = "tcp"
+	}
+	if maxFrame <= 0 {
+		maxFrame = wire.DefaultMaxPayload
+	}
+	return &peers{
+		network:     network,
+		dialTimeout: 5 * time.Second,
+		callTimeout: 60 * time.Second,
+		maxFrame:    maxFrame,
+		idle:        make(map[string][]net.Conn),
+	}
+}
+
+// dial opens and handshakes a fresh connection to addr. A dead or
+// incompatible peer fails here — before anything was sent — which is what
+// lets callers treat dial errors as "definitely not executed".
+func (p *peers) dial(addr string) (net.Conn, error) {
+	conn, err := net.DialTimeout(p.network, addr, p.dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
+	}
+	conn.SetDeadline(time.Now().Add(p.dialTimeout))
+	if err := wire.WriteGob(conn, server.FrameHello, server.Hello{Magic: server.ProtoMagic, Version: server.ProtoVersion}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("cluster: hello %s: %w", addr, err)
+	}
+	var hello server.Hello
+	if err := wire.ReadGob(conn, server.FrameHello, 1<<16, &hello); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("cluster: handshake %s: %w", addr, err)
+	}
+	if hello.Magic != server.ProtoMagic || hello.Version != server.ProtoVersion {
+		conn.Close()
+		return nil, fmt.Errorf("cluster: %s speaks %q v%d", addr, hello.Magic, hello.Version)
+	}
+	conn.SetDeadline(time.Time{})
+	return conn, nil
+}
+
+// get pops a pooled connection to addr or dials a new one.
+func (p *peers) get(addr string) (conn net.Conn, reused bool, err error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, false, fmt.Errorf("cluster: peer pool closed")
+	}
+	if conns := p.idle[addr]; len(conns) > 0 {
+		conn = conns[len(conns)-1]
+		p.idle[addr] = conns[:len(conns)-1]
+		p.mu.Unlock()
+		return conn, true, nil
+	}
+	p.mu.Unlock()
+	conn, err = p.dial(addr)
+	return conn, false, err
+}
+
+// put returns a healthy connection to addr's pool (bounded at 4 per peer).
+func (p *peers) put(addr string, conn net.Conn) {
+	p.mu.Lock()
+	if !p.closed && len(p.idle[addr]) < 4 {
+		p.idle[addr] = append(p.idle[addr], conn)
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+	conn.Close()
+}
+
+// call performs one exchange with addr. delivered reports whether the
+// request may have reached the peer: false only when the failure happened
+// before any request byte could have been delivered (dial or handshake
+// failure) — callers use it to decide whether retrying a non-idempotent op
+// elsewhere is safe. A transport failure on a pooled connection — the stale
+// connection left by a peer restart — is healed by one fresh dial for
+// idempotent ops, so a restart costs one redial, not an error.
+func (p *peers) call(addr string, req *server.Request) (resp *server.Response, delivered bool, err error) {
+	var pooled bool
+	resp, delivered, pooled, err = p.exchange(addr, req, true)
+	if err != nil && (!delivered || (pooled && req.Op.Idempotent())) {
+		resp, delivered, _, err = p.exchange(addr, req, false)
+	}
+	return resp, delivered, err
+}
+
+// exchange is one wire attempt. pooled reports the connection came from the
+// idle pool (a failure on it is eligible for call's one fresh retry).
+func (p *peers) exchange(addr string, req *server.Request, usePool bool) (_ *server.Response, delivered, pooled bool, err error) {
+	var conn net.Conn
+	if usePool {
+		conn, pooled, err = p.get(addr)
+	} else {
+		conn, err = p.dial(addr)
+	}
+	if err != nil {
+		return nil, false, pooled, err
+	}
+	conn.SetDeadline(time.Now().Add(p.callTimeout))
+	if err := wire.WriteGob(conn, server.FrameRequest, req); err != nil {
+		conn.Close()
+		// Kernel buffering makes a partial write's delivery unknowable.
+		return nil, true, pooled, fmt.Errorf("cluster: send %s: %w", addr, err)
+	}
+	resp := new(server.Response)
+	if err := wire.ReadGob(conn, server.FrameResponse, p.maxFrame, resp); err != nil {
+		conn.Close()
+		// The request was written; whether it executed is unknowable.
+		return nil, true, pooled, fmt.Errorf("cluster: receive %s: %w", addr, err)
+	}
+	conn.SetDeadline(time.Time{})
+	p.put(addr, conn)
+	return resp, true, pooled, nil
+}
+
+// close releases every pooled connection.
+func (p *peers) close() {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = make(map[string][]net.Conn)
+	p.closed = true
+	p.mu.Unlock()
+	for _, conns := range idle {
+		for _, c := range conns {
+			c.Close()
+		}
+	}
+}

@@ -1,0 +1,358 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"sstar"
+	"sstar/internal/server"
+)
+
+// ShardConfig configures one cluster shard.
+type ShardConfig struct {
+	// Self is this shard's advertised address — the string peers and clients
+	// dial, and the string that must appear in Peers. In a chaos-proxied
+	// deployment this is the proxy's address, so inter-shard traffic crosses
+	// the proxy too.
+	Self string
+	// Peers lists every shard's advertised address, Self included. The set
+	// is the ring membership; every shard must be configured with the same
+	// set (placement is a pure function of it).
+	Peers []string
+	// VNodes is the virtual-node count per shard (DefaultVNodes when < 1).
+	VNodes int
+	// Replicas is the copy count per structure including the owner (default
+	// 2: owner + one successor). Clamped to the fleet size.
+	Replicas int
+	// Network is the dial network for peer links ("tcp" default).
+	Network string
+	// MaxFrame caps peer response frames (wire.DefaultMaxPayload default).
+	MaxFrame int
+	// QueueDepth bounds the asynchronous replication queue (default 256).
+	// When the queue is full the oldest semantics are preserved by dropping
+	// the *new* push and counting it — a lagging successor degrades
+	// replication freshness, never the request path.
+	QueueDepth int
+	// Logf, when set, receives replication and routing diagnostics.
+	Logf func(format string, args ...any)
+}
+
+func (c ShardConfig) withDefaults() ShardConfig {
+	if c.VNodes < 1 {
+		c.VNodes = DefaultVNodes
+	}
+	if c.Replicas < 2 {
+		c.Replicas = 2
+	}
+	if c.Replicas > len(c.Peers) {
+		c.Replicas = len(c.Peers)
+	}
+	if c.Network == "" {
+		c.Network = "tcp"
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 256
+	}
+	return c
+}
+
+// replJob is one queued replication push: a prebuilt request bound for the
+// successor shard.
+type replJob struct {
+	addr string
+	req  *server.Request
+}
+
+// Shard implements server.ClusterHooks: it owns the ring view, refuses work
+// placed elsewhere with typed redirects, and replicates writes to the
+// successor asynchronously. Create with NewShard, pass as
+// server.Config.Cluster, then Bind the resulting server.
+type Shard struct {
+	cfg   ShardConfig
+	ring  *Ring
+	peers *peers
+	srv   atomic.Pointer[server.Server]
+
+	jobs chan replJob
+	stop chan struct{}
+	done chan struct{}
+
+	redirects    atomic.Int64
+	replications atomic.Int64
+	replErrors   atomic.Int64
+	replDropped  atomic.Int64
+	pending      atomic.Int64 // queued + in-flight replication pushes
+}
+
+// NewShard builds the shard's cluster side. The returned Shard goes into
+// server.Config.Cluster; after server.New, call Bind to attach the server
+// (routing needs its handle registry, the gauges need its metrics registry)
+// — requests cannot arrive before Bind because the listener isn't up yet.
+func NewShard(cfg ShardConfig) (*Shard, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("cluster: shard needs a Self address")
+	}
+	ring := NewRing(cfg.VNodes)
+	self := false
+	for _, p := range cfg.Peers {
+		ring.Add(p)
+		self = self || p == cfg.Self
+	}
+	if !self {
+		return nil, fmt.Errorf("cluster: Self %q not in Peers %v", cfg.Self, cfg.Peers)
+	}
+	sh := &Shard{
+		cfg:   cfg,
+		ring:  ring,
+		peers: newPeers(cfg.Network, cfg.MaxFrame),
+		jobs:  make(chan replJob, cfg.QueueDepth),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go sh.replicator()
+	return sh, nil
+}
+
+// Bind attaches the server this shard fronts and registers the cluster
+// gauges on its /metrics registry.
+func (sh *Shard) Bind(s *server.Server) {
+	sh.srv.Store(s)
+	reg := s.Registry()
+	reg.GaugeFunc("sstar_cluster_shards",
+		"Cluster size in this shard's ring view.",
+		func() float64 { return float64(sh.ring.Size()) })
+	reg.GaugeFunc("sstar_cluster_owned_handles",
+		"Live handles this shard factorized itself (total minus replicas).",
+		func() float64 {
+			st := s.Stats()
+			return float64(st.Handles - st.ReplicaHandles)
+		})
+	reg.GaugeFunc("sstar_cluster_replication_pending",
+		"Replication pushes queued or in flight — the lag a failover right now would expose.",
+		func() float64 { return float64(sh.pending.Load()) })
+	reg.CounterFunc("sstar_cluster_replications_total",
+		"Replication pushes acknowledged by the successor.",
+		func() float64 { return float64(sh.replications.Load()) })
+	reg.CounterFunc("sstar_cluster_replication_errors_total",
+		"Replication pushes abandoned after retries (dropped enqueues included).",
+		func() float64 { return float64(sh.replErrors.Load() + sh.replDropped.Load()) })
+	reg.CounterFunc("sstar_cluster_redirects_total",
+		"Requests refused with CodeRedirect/CodeNotOwner because placement assigns them elsewhere.",
+		func() float64 { return float64(sh.redirects.Load()) })
+}
+
+// Close stops the replicator (best effort: the queue is drained first) and
+// releases peer connections.
+func (sh *Shard) Close() {
+	close(sh.stop)
+	<-sh.done
+	sh.peers.close()
+}
+
+func (sh *Shard) logf(format string, args ...any) {
+	if sh.cfg.Logf != nil {
+		sh.cfg.Logf(format, args...)
+	}
+}
+
+// successor returns the first replica holder for key that is not this shard,
+// "" when the fleet has no other member.
+func (sh *Shard) successor(key uint64) string {
+	for _, m := range sh.ring.Replicas(key, sh.cfg.Replicas) {
+		if m != sh.cfg.Self {
+			return m
+		}
+	}
+	return ""
+}
+
+// Route implements server.ClusterHooks: refuse work that placement assigns
+// elsewhere, with the owner's address in the response so callers re-aim
+// instead of failing.
+func (sh *Shard) Route(req *server.Request) *server.Response {
+	switch req.Op {
+	case server.OpFactorize:
+		if req.Matrix == nil {
+			return nil // local validation produces the real error
+		}
+		key := sstar.StructureKey(req.Matrix, req.Opts)
+		reps := sh.ring.Replicas(key, sh.cfg.Replicas)
+		for _, m := range reps {
+			if m == sh.cfg.Self {
+				// Any replica holder may factorize — the owner normally,
+				// the successor when the router fails a factorize over.
+				return nil
+			}
+		}
+		sh.redirects.Add(1)
+		return &server.Response{
+			Err:  fmt.Sprintf("%v: structure %#x is placed on %s", sstar.ErrRedirect, key, reps[0]),
+			Code: server.CodeRedirect,
+			Addr: reps[0],
+			Key:  key,
+		}
+	case server.OpSolve, server.OpSolveMany, server.OpRefactorize, server.OpFree:
+		s := sh.srv.Load()
+		if s == nil || s.HasHandle(req.Handle) {
+			return nil
+		}
+		// The handle is not here. With a structure-key hint we can say who
+		// has it; without one, fall through to the registry's BadHandle.
+		if req.Key == 0 {
+			return nil
+		}
+		reps := sh.ring.Replicas(req.Key, sh.cfg.Replicas)
+		for _, m := range reps {
+			if m == sh.cfg.Self {
+				// Placement says the handle belongs here but it isn't here
+				// (not yet replicated, or evicted): the registry's typed
+				// answer is the truthful one.
+				return nil
+			}
+		}
+		sh.redirects.Add(1)
+		return &server.Response{
+			Err:  fmt.Sprintf("%v: handle %d (structure %#x) is placed on %s", sstar.ErrNotOwner, req.Handle, req.Key, reps[0]),
+			Code: server.CodeNotOwner,
+			Addr: reps[0],
+			Key:  req.Key,
+		}
+	}
+	return nil // ping, stats, replication pushes: always local
+}
+
+// Placement implements server.ClusterHooks.
+func (sh *Shard) Placement(key uint64) (self, replica string) {
+	return sh.cfg.Self, sh.successor(key)
+}
+
+// Analyzed implements server.ClusterHooks: replicate a freshly computed
+// analysis-cache entry to the successor, so a failover factorize there is a
+// cache hit instead of a cold analyze.
+func (sh *Shard) Analyzed(key uint64, an *sstar.Analysis) {
+	succ := sh.successor(key)
+	if succ == "" {
+		return
+	}
+	var buf bytes.Buffer
+	if err := an.Save(&buf); err != nil {
+		sh.logf("cluster: serialize analysis %#x: %v", key, err)
+		return
+	}
+	sh.enqueue(replJob{addr: succ, req: &server.Request{
+		Op:   server.OpReplicateAnalysis,
+		Key:  key,
+		Blob: buf.Bytes(),
+	}})
+}
+
+// Stored implements server.ClusterHooks: replicate the factors to the
+// successor. The pattern rides along so the replica supports the
+// values-only refactorize fast path after a promotion.
+func (sh *Shard) Stored(ev server.StoredEvent) {
+	succ := sh.successor(ev.Key)
+	if succ == "" {
+		return
+	}
+	sh.enqueue(replJob{addr: succ, req: &server.Request{
+		Op:     server.OpReplicate,
+		Handle: ev.Handle,
+		Key:    ev.Key,
+		Matrix: &sstar.Matrix{N: ev.N, M: ev.N, RowPtr: ev.RowPtr, ColInd: ev.ColInd},
+		Blob:   ev.Blob,
+	}})
+}
+
+// Freed implements server.ClusterHooks: forward the free so the replica is
+// released too. (The server only calls this for owned handles, so the
+// forward cannot cascade.)
+func (sh *Shard) Freed(handle uint64, key uint64) {
+	succ := sh.successor(key)
+	if succ == "" {
+		return
+	}
+	sh.enqueue(replJob{addr: succ, req: &server.Request{
+		Op:     server.OpFree,
+		Handle: handle,
+		Key:    key,
+	}})
+}
+
+// AugmentStats implements server.ClusterHooks.
+func (sh *Shard) AugmentStats(st *server.ServerStats) {
+	st.Shards = sh.ring.Size()
+	st.Redirects = sh.redirects.Load()
+	st.Replications = sh.replications.Load()
+	st.ReplicationPending = int(sh.pending.Load())
+}
+
+// enqueue hands a push to the replicator without ever blocking the request
+// path: a full queue drops the push (counted, logged) rather than stalling
+// a factorize behind a lagging successor.
+func (sh *Shard) enqueue(j replJob) {
+	sh.pending.Add(1)
+	select {
+	case sh.jobs <- j:
+	default:
+		sh.pending.Add(-1)
+		sh.replDropped.Add(1)
+		sh.logf("cluster: replication queue full, dropped %s to %s", j.req.Op, j.addr)
+	}
+}
+
+// replicator drains the push queue, retrying each push with backoff — the
+// successor may be mid-restart or behind a flaky link. On shutdown the
+// queued pushes are flushed with one attempt each.
+func (sh *Shard) replicator() {
+	defer close(sh.done)
+	for {
+		select {
+		case j := <-sh.jobs:
+			sh.push(j, 3)
+		case <-sh.stop:
+			for {
+				select {
+				case j := <-sh.jobs:
+					sh.push(j, 1)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// push delivers one replication job with up to attempts tries.
+func (sh *Shard) push(j replJob, attempts int) {
+	defer sh.pending.Add(-1)
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			select {
+			case <-time.After(time.Duration(50<<uint(i-1)) * time.Millisecond):
+			case <-sh.stop:
+			}
+		}
+		var resp *server.Response
+		resp, _, err = sh.peers.call(j.addr, j.req)
+		if err == nil && resp.Err != "" {
+			// OpFree forwarded for a replica the successor never installed
+			// (or already dropped) answers BadHandle — the desired end
+			// state, not a failure.
+			if j.req.Op == server.OpFree && (resp.Code == server.CodeBadHandle || resp.Code == server.CodeEvicted) {
+				err = nil
+			} else {
+				err = resp.Error()
+			}
+		}
+		if err == nil {
+			sh.replications.Add(1)
+			return
+		}
+	}
+	sh.replErrors.Add(1)
+	sh.logf("cluster: replication %s to %s failed after %d attempts: %v", j.req.Op, j.addr, attempts, err)
+}

@@ -26,7 +26,20 @@ type analysisCache struct {
 	cap       int
 	ll        *list.List                 // front = most recently used
 	m         map[uint64][]*list.Element // key -> entries (collision-tolerant)
+	inflight  map[uint64]*flight         // cold analyses being computed right now
 	hit, miss int64
+	coalesced int64 // requests that waited on another request's computation
+}
+
+// flight is one in-progress cold analysis. The leader computes and closes
+// done; every concurrent request for the same key waits instead of
+// recomputing — the singleflight that turns a thundering herd on a new
+// structure into one analyze (and, on a cluster shard, one replication push
+// instead of a duplicate per herd member).
+type flight struct {
+	done chan struct{}
+	an   *sstar.Analysis
+	err  error
 }
 
 type cacheEntry struct {
@@ -39,7 +52,71 @@ func newAnalysisCache(capacity int) *analysisCache {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &analysisCache{cap: capacity, ll: list.New(), m: make(map[uint64][]*list.Element)}
+	return &analysisCache{
+		cap:      capacity,
+		ll:       list.New(),
+		m:        make(map[uint64][]*list.Element),
+		inflight: make(map[uint64]*flight),
+	}
+}
+
+// getOrCompute returns the analysis for (pattern of a, opts), computing it
+// with compute on a miss. Concurrent misses on the same key are coalesced:
+// one leader runs compute, everyone else waits for its result. A waiter whose
+// (pattern, opts) does not actually match the leader's result — a key
+// collision, astronomically unlikely — falls back to computing its own.
+func (c *analysisCache) getOrCompute(key uint64, a *sstar.Matrix, opts sstar.Options, compute func() (*sstar.Analysis, error)) (an *sstar.Analysis, cacheHit, computed bool, err error) {
+	for {
+		c.mu.Lock()
+		if an := c.lookup(key, a, opts); an != nil {
+			c.hit++
+			c.mu.Unlock()
+			return an, true, false, nil
+		}
+		if fl, ok := c.inflight[key]; ok {
+			c.coalesced++
+			c.mu.Unlock()
+			<-fl.done
+			if fl.err == nil && fl.an.Options() == opts && fl.an.Matches(a) {
+				return fl.an, true, false, nil
+			}
+			if fl.err != nil {
+				// The leader failed; its inputs were byte-equal up to the
+				// key, so this request would fail the same way.
+				return nil, false, false, fl.err
+			}
+			// Key collision with a different structure: loop and compute
+			// under a fresh flight slot (the leader's is gone by now).
+			continue
+		}
+		fl := &flight{done: make(chan struct{})}
+		c.inflight[key] = fl
+		c.miss++
+		c.mu.Unlock()
+
+		fl.an, fl.err = compute()
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if fl.err == nil {
+			c.insert(key, fl.an)
+		}
+		c.mu.Unlock()
+		close(fl.done)
+		return fl.an, false, true, fl.err
+	}
+}
+
+// lookup returns the cached analysis for (pattern of a, opts) and bumps it to
+// most recently used, or nil. Caller holds c.mu and maintains the counters.
+func (c *analysisCache) lookup(key uint64, a *sstar.Matrix, opts sstar.Options) *sstar.Analysis {
+	for _, el := range c.m[key] {
+		e := el.Value.(*cacheEntry)
+		if e.opts == opts && e.an.Matches(a) {
+			c.ll.MoveToFront(el)
+			return e.an
+		}
+	}
+	return nil
 }
 
 // get returns the cached analysis for (pattern of a, opts), or nil on a
@@ -47,25 +124,26 @@ func newAnalysisCache(capacity int) *analysisCache {
 func (c *analysisCache) get(key uint64, a *sstar.Matrix, opts sstar.Options) *sstar.Analysis {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for _, el := range c.m[key] {
-		e := el.Value.(*cacheEntry)
-		if e.opts == opts && e.an.Matches(a) {
-			c.ll.MoveToFront(el)
-			c.hit++
-			return e.an
-		}
+	if an := c.lookup(key, a, opts); an != nil {
+		c.hit++
+		return an
 	}
 	c.miss++
 	return nil
 }
 
 // add inserts an analysis under key, evicting least-recently-used entries
-// beyond capacity. A racing duplicate (two misses analyzing the same
-// structure concurrently) is tolerated: both are inserted, both are valid,
+// beyond capacity. A racing duplicate (two inserts of the same structure,
+// e.g. a replication racing a local analyze) is tolerated: both are valid,
 // and LRU eviction reclaims the spare.
 func (c *analysisCache) add(key uint64, an *sstar.Analysis) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.insert(key, an)
+}
+
+// insert adds an entry and enforces capacity. Caller holds c.mu.
+func (c *analysisCache) insert(key uint64, an *sstar.Analysis) {
 	el := c.ll.PushFront(&cacheEntry{key: key, opts: an.Options(), an: an})
 	c.m[key] = append(c.m[key], el)
 	for c.ll.Len() > c.cap {
@@ -100,4 +178,12 @@ func (c *analysisCache) counters() (hit, miss int64, entries int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hit, c.miss, c.ll.Len()
+}
+
+// coalescedCount returns how many requests were merged into a concurrent
+// identical computation by the singleflight.
+func (c *analysisCache) coalescedCount() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.coalesced
 }

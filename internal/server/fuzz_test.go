@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"errors"
 	"sync"
 	"testing"
 
@@ -50,6 +51,11 @@ func FuzzRequestDecode(f *testing.F) {
 		if err := wire.ReadGob(bytes.NewReader(data), FrameRequest, 1<<20, req); err != nil {
 			return // rejected at the wire: exactly what hostile bytes should get
 		}
+		// The cluster extension decodes the same frame on shards: hostile Key
+		// and Blob fields must be as survivable as the rest.
+		if len(req.Blob) > 4096 {
+			return
+		}
 		// Cap the work a decoded request may describe — the fuzzer's job is
 		// crashing the decoder and the validators, not factorizing whatever
 		// huge random matrix happens to parse.
@@ -62,6 +68,58 @@ func FuzzRequestDecode(f *testing.F) {
 		resp := s.process(req)
 		if resp == nil {
 			t.Fatal("process returned nil response")
+		}
+	})
+}
+
+// FuzzRedirectDecode drives hostile bytes through the response-decode path a
+// client (and the router, following redirects between shards) runs: frame
+// decode, gob decode, then the typed-error classification that redirect
+// following branches on. Decode errors are fine; a panic, or a classification
+// that disagrees with the code-to-sentinel mapping, is not.
+func FuzzRedirectDecode(f *testing.F) {
+	seeds := []*Response{
+		{Code: CodeRedirect, Addr: "127.0.0.1:7072", Key: 0xdeadbeef, Err: "redirect: structure 0xdeadbeef is placed on 127.0.0.1:7072"},
+		{Code: CodeNotOwner, Addr: "10.0.0.3:7071", Key: 1, Err: "not owner: handle 7"},
+		{Handle: 7, N: 16, Nnz: 64, Key: 9, Addr: "127.0.0.1:7071", Replica: "127.0.0.1:7073"},
+		{Code: CodeRedirect, Err: "redirect with no address"},
+		{Code: Code(250), Addr: "\x00junk", Err: "unknown code"},
+		{X: []float64{1, 2, 3}},
+	}
+	for _, resp := range seeds {
+		var buf bytes.Buffer
+		if err := wire.WriteGob(&buf, FrameResponse, resp); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{FrameResponse, 0, 0, 0, 2, 0, 0, 0, 0, 9, 9})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		resp := new(Response)
+		if err := wire.ReadGob(bytes.NewReader(data), FrameResponse, 1<<20, resp); err != nil {
+			return
+		}
+		err := resp.Error()
+		if resp.Err == "" {
+			if err != nil {
+				t.Fatalf("success response produced error %v", err)
+			}
+			return
+		}
+		if err == nil {
+			t.Fatal("failed response produced nil error")
+		}
+		// The round trip a redirect-following client depends on: the typed
+		// error must classify back to the code it was built from (unknown
+		// codes survive as CodeNone, never panic).
+		if got := CodeOf(err); got != resp.Code && got != CodeNone {
+			t.Fatalf("CodeOf round trip: %v -> %v (want %v or CodeNone)", resp.Code, got, resp.Code)
+		}
+		isRedirect := resp.Code == CodeRedirect || resp.Code == CodeNotOwner
+		if isRedirect != (errors.Is(err, sstar.ErrRedirect) || errors.Is(err, sstar.ErrNotOwner)) {
+			t.Fatalf("code %v: redirect classification mismatch for %v", resp.Code, err)
 		}
 	})
 }

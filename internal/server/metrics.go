@@ -52,12 +52,21 @@ func newMetrics(s *Server) *metrics {
 	reg.CounterFunc("sstar_server_cache_misses_total",
 		"Analysis cache misses.",
 		func() float64 { _, miss, _ := s.cache.counters(); return float64(miss) })
+	reg.CounterFunc("sstar_server_cache_coalesced_total",
+		"Factorize requests merged into a concurrent identical analysis by the singleflight.",
+		func() float64 { return float64(s.cache.coalescedCount()) })
 	reg.GaugeFunc("sstar_server_cache_entries",
 		"Live cached analyses.",
 		func() float64 { _, _, n := s.cache.counters(); return float64(n) })
 	reg.GaugeFunc("sstar_server_handles",
 		"Live factorization handles.",
 		func() float64 { n, _, _ := s.reg.stats(); return float64(n) })
+	reg.GaugeFunc("sstar_server_replica_handles",
+		"Live handles installed by peer-shard replication pushes.",
+		func() float64 { return float64(s.reg.replicaCount()) })
+	reg.CounterFunc("sstar_server_replicas_installed_total",
+		"Replication pushes accepted from peer shards.",
+		func() float64 { return float64(s.replicasInstalled.Load()) })
 	reg.GaugeFunc("sstar_server_handle_bytes",
 		"Estimated bytes held by live handles (bounded by the memory budget).",
 		func() float64 { _, b, _ := s.reg.stats(); return float64(b) })
@@ -126,6 +135,11 @@ func (m *metrics) observe(op Op, worker int, queueNs, processNs int64, st Reques
 	}
 	m.tracer.Span(op.String(), "server", worker, start, processNs)
 }
+
+// Registry returns the server's metrics registry so outer layers (the
+// cluster shard) can register their own gauges next to the server's on the
+// same /metrics exposition.
+func (s *Server) Registry() *obs.Registry { return s.met.reg }
 
 // AdminHandler returns the HTTP admin surface of the server, mounted by
 // sstar-serve's -admin listener:

@@ -52,6 +52,27 @@ const (
 	OpSolve       Op = 4 // Handle+B -> X
 	OpFree        Op = 5 // Handle -> release the factorization
 	OpStats       Op = 6 // -> ServerStats snapshot
+
+	// OpSolveMany solves Handle against NRHS right-hand sides stored
+	// column-major in B (len(B) = N*NRHS) through the blocked BLAS-3 panel
+	// path; X comes back in the same layout. The cluster router splits
+	// these across the shards holding replicas of the factors
+	// (scatter/gather) when the panel is wide enough.
+	OpSolveMany Op = 7
+
+	// OpReplicate is the shard-to-shard replication message: install (or
+	// refresh) Blob — a factorization in the sstar Save format — under
+	// Handle with structure Key and the pattern carried in Matrix, marking
+	// it a replica. Idempotent: re-installing the same handle replaces the
+	// factors. Single-node servers accept it too, which is what makes a
+	// replica promotable without a mode switch.
+	OpReplicate Op = 8
+
+	// OpReplicateAnalysis replicates one analysis-cache entry: Blob is an
+	// Analysis in the sstar Save format, inserted into the receiver's
+	// structure-keyed cache so a failover factorize on the successor shard
+	// is a cache hit, not a cold analyze.
+	OpReplicateAnalysis Op = 9
 )
 
 // Idempotent reports whether repeating the operation after an ambiguous
@@ -63,7 +84,7 @@ const (
 // shed request never executed.
 func (o Op) Idempotent() bool {
 	switch o {
-	case OpPing, OpStats, OpSolve, OpRefactorize:
+	case OpPing, OpStats, OpSolve, OpSolveMany, OpRefactorize, OpReplicate, OpReplicateAnalysis:
 		return true
 	}
 	return false
@@ -84,6 +105,12 @@ func (o Op) String() string {
 		return "free"
 	case OpStats:
 		return "stats"
+	case OpSolveMany:
+		return "solve-many"
+	case OpReplicate:
+		return "replicate"
+	case OpReplicateAnalysis:
+		return "replicate-analysis"
 	}
 	return "unknown"
 }
@@ -116,6 +143,24 @@ type Request struct {
 	// queue wait alone would exceed the budget — work that cannot finish in
 	// time is refused early rather than executed late.
 	TimeoutNs int64
+
+	// Key is the structure key of the handle's matrix, stamped on handle
+	// operations (solve, refactorize, free) by topology-aware clients. A
+	// cluster shard that holds neither the handle nor a replica uses it to
+	// answer CodeNotOwner with the owning shard's address instead of the
+	// less actionable CodeBadHandle. Zero means no hint.
+	Key uint64
+
+	// NRHS is the column count of OpSolveMany's B (len(B) = N*NRHS,
+	// column-major).
+	NRHS int
+
+	// Blob carries the replication payload of OpReplicate (a factorization
+	// in the sstar Save format) or OpReplicateAnalysis (an analysis in the
+	// sstar analysis Save format). For OpReplicate, Matrix carries the
+	// retained CSR pattern (values unused) and Handle/Key the identity the
+	// replica installs under.
+	Blob []byte
 }
 
 // RequestStats is the per-request cost split the server reports with every
@@ -170,6 +215,38 @@ type ServerStats struct {
 	// HandleBytes estimates the memory held by live handles (factor
 	// storage plus retained pattern), the quantity the MemBudget bounds.
 	HandleBytes int64
+	// Coalesced counts factorize requests whose cold analysis was merged
+	// into a concurrent identical computation by the singleflight: a
+	// thundering herd on a new structure computes the symbolic analysis
+	// once, and every other herd member counts here.
+	Coalesced int64
+
+	// Cluster fields — zero on a standalone server. On a shard they
+	// describe that shard; on a stats response aggregated by the router
+	// they are fleet-wide sums plus the router's own counters.
+	//
+	// Shards is the cluster size as seen by the reporting process.
+	Shards int
+	// Redirects counts requests answered with CodeRedirect/CodeNotOwner:
+	// work refused because placement says it belongs elsewhere.
+	Redirects int64
+	// Replications counts replica pushes acknowledged by the successor
+	// shard (factor blobs and analysis entries alike).
+	Replications int64
+	// ReplicationPending is the replication queue depth: writes whose
+	// replica the successor has not yet acknowledged (the lag a failover
+	// at this instant would expose).
+	ReplicationPending int
+	// ReplicaHandles is how many of Handles are replicas installed by a
+	// peer shard rather than factorized locally.
+	ReplicaHandles int
+	// Failovers counts handle operations the router completed on a replica
+	// after the owner failed — each one is a solve that survived a shard
+	// death without refactorizing.
+	Failovers int64
+	// Scatters counts SolveMany requests the router split across the
+	// shards holding replicas (scatter/gather).
+	Scatters int64
 }
 
 // HitRate returns the analysis-cache hit rate in [0,1], 0 when no factorize
@@ -195,6 +272,15 @@ const (
 	CodeOverloaded Code = 3 // shed before execution (deadline would expire in queue, or shutdown)
 	CodeEvicted    Code = 4 // handle evicted by the memory budget or TTL; factors are gone
 	CodeInternal   Code = 5 // recovered panic inside the server
+
+	// CodeRedirect: a factorize reached a shard that does not own the
+	// structure. Never executed; Response.Addr names the owner. Clients
+	// re-send there (retry-with-new-target, not a failure).
+	CodeRedirect Code = 6
+	// CodeNotOwner: a handle operation reached a shard holding neither the
+	// handle nor a replica. Never executed; Response.Addr names the owner
+	// when the request carried a structure key.
+	CodeNotOwner Code = 7
 )
 
 // Sentinel returns the root-package sentinel error of the code, nil for
@@ -211,6 +297,10 @@ func (c Code) Sentinel() error {
 		return sstar.ErrHandleEvicted
 	case CodeInternal:
 		return sstar.ErrInternal
+	case CodeRedirect:
+		return sstar.ErrRedirect
+	case CodeNotOwner:
+		return sstar.ErrNotOwner
 	}
 	return nil
 }
@@ -230,6 +320,10 @@ func (c Code) String() string {
 		return "evicted"
 	case CodeInternal:
 		return "internal"
+	case CodeRedirect:
+		return "redirect"
+	case CodeNotOwner:
+		return "not-owner"
 	}
 	return "unknown"
 }
@@ -251,6 +345,10 @@ func CodeOf(err error) Code {
 		return CodeEvicted
 	case errors.Is(err, sstar.ErrInternal):
 		return CodeInternal
+	case errors.Is(err, sstar.ErrRedirect):
+		return CodeRedirect
+	case errors.Is(err, sstar.ErrNotOwner):
+		return CodeNotOwner
 	}
 	return CodeNone
 }
@@ -274,16 +372,32 @@ func (e *RemoteError) Is(target error) bool {
 }
 
 // Response is the server-to-client message. A non-empty Err means the
-// request failed; every other field is op-dependent.
+// request failed; every other field is op-dependent. The cluster fields
+// (Addr, Replica, Key) are additive gob fields, so v2-frame clients that
+// predate them decode responses unchanged — backward compatibility is what
+// lets a mixed fleet upgrade shard by shard.
 type Response struct {
 	Err    string
 	Code   Code         // failure class of Err (CodeNone for legacy/uncategorized errors)
 	Handle uint64       // OpFactorize: the new handle
 	N      int          // OpFactorize: matrix order (client-side convenience)
 	Nnz    int          // OpFactorize: pattern nonzeros (= required Values length for the fast path)
-	X      []float64    // OpSolve: the solution
+	X      []float64    // OpSolve/OpSolveMany: the solution(s)
 	Stats  RequestStats // cost split of this request
 	Server ServerStats  // OpStats
+
+	// Addr is cluster placement: on a CodeRedirect/CodeNotOwner failure,
+	// the shard that owns the structure/handle; on a successful factorize
+	// from a cluster shard, the advertised address of the shard that now
+	// holds the factors — clients go shard-direct from then on.
+	Addr string
+	// Replica is the shard holding (or about to hold — replication is
+	// asynchronous) the factor replica of a successful factorize.
+	Replica string
+	// Key is the structure key of a successful factorize, stamped so
+	// clients can hint later handle operations (Request.Key) and routers
+	// can place without re-hashing.
+	Key uint64
 }
 
 // Error returns the response's failure as a *RemoteError, nil on success.

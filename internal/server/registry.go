@@ -20,6 +20,13 @@ type handle struct {
 	n      int
 	rowPtr []int // pattern of the originally submitted matrix, kept for
 	colInd []int // the values-only refactorize fast path
+	// key is the structure key of the handle's matrix, retained so cluster
+	// shards can re-replicate after a refactorize without re-hashing.
+	key uint64
+	// replica marks a handle installed by a peer shard's replication push
+	// rather than factorized locally. Replicas serve solves identically;
+	// the flag only feeds the per-shard ownership gauges.
+	replica bool
 }
 
 // bytes estimates the memory the handle pins: the block factor storage
@@ -114,6 +121,55 @@ func (r *registry) add(h *handle) uint64 {
 		}
 	}
 	return id
+}
+
+// put installs h under a caller-chosen id — the replication path: a replica
+// carries the id its owner shard allocated, so a failover solve addresses the
+// same handle on the successor. Re-installing an existing id replaces the
+// factors in place (re-replication after a refactorize) and untombstones it:
+// a fresh replication push supersedes an earlier eviction. Eviction policy
+// applies exactly as in add.
+func (r *registry) put(id uint64, h *handle) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if el, ok := r.live[id]; ok {
+		e := el.Value.(*regEntry)
+		r.bytes -= e.bytes
+		e.h, e.bytes, e.lastUsed = h, h.bytes(), r.clock()
+		r.bytes += e.bytes
+		r.ll.MoveToFront(el)
+		return
+	}
+	delete(r.tombs, id)
+	el := r.ll.PushFront(&regEntry{id: id, h: h, bytes: h.bytes(), lastUsed: r.clock()})
+	r.live[id] = el
+	r.bytes += el.Value.(*regEntry).bytes
+	if r.budget > 0 {
+		for r.bytes > r.budget && r.ll.Len() > 1 {
+			r.evict(r.ll.Back())
+		}
+	}
+}
+
+// contains reports whether id is live, without touching the LRU order.
+func (r *registry) contains(id uint64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.live[id]
+	return ok
+}
+
+// replicaCount returns how many live handles are replication installs.
+func (r *registry) replicaCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, el := range r.live {
+		if el.Value.(*regEntry).h.replica {
+			n++
+		}
+	}
+	return n
 }
 
 // get returns the handle for id, marking it most recently used. A missing id

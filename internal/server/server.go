@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"fmt"
 	"net"
 	"runtime"
@@ -55,6 +56,54 @@ type Config struct {
 	// Logf, when set, receives one line per connection event and per
 	// failed request.
 	Logf func(format string, args ...any)
+	// Cluster, when set, makes this server one shard of a multi-node
+	// cluster (see internal/cluster): requests for structures and handles
+	// placed elsewhere are refused with typed redirect codes, and
+	// successful factorizes/refactorizes are handed to the hooks for
+	// asynchronous replication. Nil keeps the standalone behavior exactly.
+	Cluster ClusterHooks
+}
+
+// ClusterHooks is the seam between the single-node server and the cluster
+// layer (internal/cluster). The server calls these inline on the request
+// path, so implementations must be fast and non-blocking — replication work
+// is handed off to a queue, never performed in the hook.
+type ClusterHooks interface {
+	// Route inspects a request before execution. A non-nil response
+	// short-circuits the request — the shard answering CodeRedirect or
+	// CodeNotOwner for work that placement assigns elsewhere. Nil executes
+	// locally.
+	Route(req *Request) *Response
+	// Placement reports the advertised address of this shard and of the
+	// replica successor for key, stamped on factorize responses so clients
+	// learn topology from first contact.
+	Placement(key uint64) (self, replica string)
+	// Analyzed is called after a cold analyze completes, with the
+	// immutable analysis, for asynchronous replication of the cache entry.
+	Analyzed(key uint64, an *sstar.Analysis)
+	// Stored is called after a successful factorize or refactorize with
+	// the serialized factors, for asynchronous replication to the
+	// successor shard.
+	Stored(ev StoredEvent)
+	// Freed is called after a successful free so the replica can be
+	// released too.
+	Freed(handle uint64, key uint64)
+	// AugmentStats fills the cluster section of a stats snapshot.
+	AugmentStats(st *ServerStats)
+}
+
+// StoredEvent is one replicable write: the handle's identity and its factors
+// serialized in the sstar Save format (bit-exact: a replica loaded from Blob
+// solves bit-identically to the original). RowPtr/ColInd are the retained
+// pattern backing the values-only refactorize fast path after a promotion;
+// they are shared read-only slices.
+type StoredEvent struct {
+	Handle uint64
+	Key    uint64
+	N      int
+	RowPtr []int
+	ColInd []int
+	Blob   []byte
 }
 
 func (c Config) withDefaults() Config {
@@ -114,12 +163,13 @@ type Server struct {
 	conns     map[net.Conn]struct{}
 	closed    bool
 
-	requests     atomic.Int64
-	errors       atomic.Int64
-	sheds        atomic.Int64
-	factorizes   atomic.Int64
-	refactorizes atomic.Int64
-	solves       atomic.Int64
+	requests          atomic.Int64
+	errors            atomic.Int64
+	sheds             atomic.Int64
+	factorizes        atomic.Int64
+	refactorizes      atomic.Int64
+	solves            atomic.Int64
+	replicasInstalled atomic.Int64
 
 	// Blocking choice of the most recent factorize (cache hit or miss),
 	// exported as gauges so a blocking regression is visible on /metrics.
@@ -411,6 +461,11 @@ func (s *Server) process(req *Request) (resp *Response) {
 			s.logf("server: panic in %s: %v\n%s", req.Op, p, debug.Stack())
 		}
 	}()
+	if hk := s.cfg.Cluster; hk != nil {
+		if resp := hk.Route(req); resp != nil {
+			return resp
+		}
+	}
 	switch req.Op {
 	case OpPing:
 		return &Response{}
@@ -420,10 +475,16 @@ func (s *Server) process(req *Request) (resp *Response) {
 		return s.doRefactorize(req)
 	case OpSolve:
 		return s.doSolve(req)
+	case OpSolveMany:
+		return s.doSolveMany(req)
 	case OpFree:
 		return s.doFree(req)
 	case OpStats:
 		return &Response{Server: s.Stats()}
+	case OpReplicate:
+		return s.doReplicate(req)
+	case OpReplicateAnalysis:
+		return s.doReplicateAnalysis(req)
 	}
 	return &Response{Err: fmt.Sprintf("server: unknown op %d", req.Op)}
 }
@@ -448,18 +509,22 @@ func (s *Server) doFactorize(req *Request) *Response {
 	stats.FactorWorkers = s.cfg.FactorWorkers
 	key := sstar.StructureKey(a, opts)
 	t0 := time.Now()
-	an := s.cache.get(key, a, opts)
-	if an != nil {
-		stats.CacheHit = true
-	} else {
-		var err error
-		an, err = sstar.Analyze(a, opts)
-		if err != nil {
-			return errResponse(err)
-		}
-		s.cache.add(key, an)
+	// Singleflight on the cold analysis: a thundering herd on a new
+	// structure computes the symbolic analysis once; every other herd
+	// member waits for the leader's result (and counts as a cache hit —
+	// it paid no analyze).
+	an, hit, computed, err := s.cache.getOrCompute(key, a, opts, func() (*sstar.Analysis, error) {
+		return sstar.Analyze(a, opts)
+	})
+	if err != nil {
+		return errResponse(err)
 	}
+	stats.CacheHit = hit
 	stats.AnalyzeNs = time.Since(t0).Nanoseconds()
+	hk := s.cfg.Cluster
+	if computed && hk != nil {
+		hk.Analyzed(key, an)
+	}
 	bc := an.Blocking()
 	s.lastMaxBlock.Store(int64(bc.MaxBlock))
 	s.lastAmalgamate.Store(int64(bc.Amalgamate))
@@ -479,9 +544,30 @@ func (s *Server) doFactorize(req *Request) *Response {
 		n:      a.N,
 		rowPtr: append([]int(nil), a.RowPtr...),
 		colInd: append([]int(nil), a.ColInd...),
+		key:    key,
 	}
 	id := s.reg.add(h)
-	return &Response{Handle: id, N: a.N, Nnz: len(h.colInd), Stats: stats}
+	resp := &Response{Handle: id, N: a.N, Nnz: len(h.colInd), Key: key, Stats: stats}
+	if hk != nil {
+		resp.Addr, resp.Replica = hk.Placement(key)
+		if blob, err := serializeFactors(f); err == nil {
+			hk.Stored(StoredEvent{Handle: id, Key: key, N: a.N, RowPtr: h.rowPtr, ColInd: h.colInd, Blob: blob})
+		} else {
+			s.logf("server: serialize for replication: %v", err)
+		}
+	}
+	return resp
+}
+
+// serializeFactors renders f in the sstar Save format — the replication
+// payload. Save/Load round-trips factors bit-exactly, which is what makes a
+// failover solve on the replica bit-identical to one on the owner.
+func serializeFactors(f *sstar.Factorization) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 func (s *Server) doRefactorize(req *Request) *Response {
@@ -501,14 +587,30 @@ func (s *Server) doRefactorize(req *Request) *Response {
 	var stats RequestStats
 	stats.FactorWorkers = s.cfg.FactorWorkers
 	t0 := time.Now()
+	hk := s.cfg.Cluster
+	var blob []byte
+	var blobErr error
 	h.mu.Lock()
 	err = h.f.Refactorize(m)
+	if err == nil && hk != nil {
+		// Serialize under the handle lock: a concurrent refactorize must
+		// not swap the factors mid-Save, or the replica would hold a
+		// torn mixture of two factorizations.
+		blob, blobErr = serializeFactors(h.f)
+	}
 	h.mu.Unlock()
 	stats.FactorNs = time.Since(t0).Nanoseconds()
 	if err != nil {
 		return errResponse(err)
 	}
-	return &Response{Handle: req.Handle, N: h.n, Nnz: len(h.colInd), Stats: stats}
+	if hk != nil {
+		if blobErr == nil {
+			hk.Stored(StoredEvent{Handle: req.Handle, Key: h.key, N: h.n, RowPtr: h.rowPtr, ColInd: h.colInd, Blob: blob})
+		} else {
+			s.logf("server: serialize for replication: %v", blobErr)
+		}
+	}
+	return &Response{Handle: req.Handle, N: h.n, Nnz: len(h.colInd), Key: h.key, Stats: stats}
 }
 
 func (s *Server) doSolve(req *Request) *Response {
@@ -529,32 +631,124 @@ func (s *Server) doSolve(req *Request) *Response {
 	return &Response{Handle: req.Handle, X: x, Stats: stats}
 }
 
+// doSolveMany runs the blocked multi-RHS solve: B holds NRHS right-hand
+// sides column-major, X comes back in the same layout. Columns are
+// independent, which is what lets the cluster router scatter one of these
+// across the shards holding replicas and gather a bit-identical result.
+func (s *Server) doSolveMany(req *Request) *Response {
+	s.solves.Add(1)
+	h, err := s.reg.get(req.Handle)
+	if err != nil {
+		return errResponse(err)
+	}
+	if req.NRHS < 1 {
+		return &Response{Err: fmt.Sprintf("server: solve-many needs nrhs >= 1, got %d", req.NRHS)}
+	}
+	if len(req.B) != h.n*req.NRHS {
+		return &Response{Err: fmt.Sprintf("server: solve-many rhs length %d, want %d (n=%d x nrhs=%d)", len(req.B), h.n*req.NRHS, h.n, req.NRHS)}
+	}
+	var stats RequestStats
+	t0 := time.Now()
+	h.mu.RLock()
+	x, serr := h.f.SolveMany(req.B, req.NRHS)
+	h.mu.RUnlock()
+	stats.SolveNs = time.Since(t0).Nanoseconds()
+	if serr != nil {
+		return errResponse(serr)
+	}
+	return &Response{Handle: req.Handle, X: x, Stats: stats}
+}
+
+// doReplicate installs (or refreshes) a replica pushed by a peer shard: the
+// blob is loaded back into a live factorization under the id the owner
+// allocated, so a failover solve addresses the same handle here. Load
+// verifies every frame checksum — a blob corrupted in flight is refused, and
+// the pusher retries.
+func (s *Server) doReplicate(req *Request) *Response {
+	f, err := sstar.Load(bytes.NewReader(req.Blob))
+	if err != nil {
+		return errResponse(fmt.Errorf("server: replicate handle %d: %w", req.Handle, err))
+	}
+	m := req.Matrix
+	if m == nil || len(m.RowPtr) != m.N+1 {
+		return &Response{Err: "server: replicate needs the retained pattern"}
+	}
+	h := &handle{
+		f:       f,
+		n:       m.N,
+		rowPtr:  m.RowPtr,
+		colInd:  m.ColInd,
+		key:     req.Key,
+		replica: true,
+	}
+	s.reg.put(req.Handle, h)
+	s.replicasInstalled.Add(1)
+	return &Response{Handle: req.Handle, N: m.N, Nnz: len(m.ColInd)}
+}
+
+// doReplicateAnalysis installs one analysis-cache entry pushed by a peer
+// shard, so a post-failover factorize of that structure here is a cache hit.
+func (s *Server) doReplicateAnalysis(req *Request) *Response {
+	an, err := sstar.LoadAnalysis(bytes.NewReader(req.Blob))
+	if err != nil {
+		return errResponse(fmt.Errorf("server: replicate analysis: %w", err))
+	}
+	s.cache.add(an.Key(), an)
+	return &Response{Key: an.Key()}
+}
+
 func (s *Server) doFree(req *Request) *Response {
+	var key uint64
+	owned := false
+	if h, err := s.reg.get(req.Handle); err == nil {
+		key, owned = h.key, !h.replica
+	}
 	if err := s.reg.free(req.Handle); err != nil {
 		return errResponse(err)
 	}
+	// Only an owned handle's free is forwarded to the replica holder —
+	// freeing a replica must not trigger a forward of its own, or the free
+	// would cascade around the ring.
+	if hk := s.cfg.Cluster; hk != nil && owned {
+		hk.Freed(req.Handle, key)
+	}
 	return &Response{}
 }
+
+// HasHandle reports whether id is live in the registry (owned or replica),
+// without disturbing the LRU order. The cluster layer's routing check.
+func (s *Server) HasHandle(id uint64) bool { return s.reg.contains(id) }
+
+// InstallAnalysis inserts an analysis into the structure-keyed cache — the
+// receiving end of analysis replication, exposed for the cluster layer and
+// for warm-start tooling.
+func (s *Server) InstallAnalysis(an *sstar.Analysis) { s.cache.add(an.Key(), an) }
 
 // Stats snapshots the server counters.
 func (s *Server) Stats() ServerStats {
 	hit, miss, entries := s.cache.counters()
 	nHandles, handleBytes, evictions := s.reg.stats()
-	return ServerStats{
-		Requests:      s.requests.Load(),
-		Errors:        s.errors.Load(),
-		Factorizes:    s.factorizes.Load(),
-		Refactorizes:  s.refactorizes.Load(),
-		Solves:        s.solves.Load(),
-		CacheHits:     hit,
-		CacheMisses:   miss,
-		CacheEntries:  entries,
-		Handles:       nHandles,
-		Workers:       s.cfg.Workers,
-		FactorWorkers: s.cfg.FactorWorkers,
-		QueueDepth:    len(s.jobs),
-		Sheds:         s.sheds.Load(),
-		Evictions:     evictions,
-		HandleBytes:   handleBytes,
+	st := ServerStats{
+		Requests:       s.requests.Load(),
+		Errors:         s.errors.Load(),
+		Factorizes:     s.factorizes.Load(),
+		Refactorizes:   s.refactorizes.Load(),
+		Solves:         s.solves.Load(),
+		CacheHits:      hit,
+		CacheMisses:    miss,
+		CacheEntries:   entries,
+		Coalesced:      s.cache.coalescedCount(),
+		Handles:        nHandles,
+		ReplicaHandles: s.reg.replicaCount(),
+		Workers:        s.cfg.Workers,
+		FactorWorkers:  s.cfg.FactorWorkers,
+		QueueDepth:     len(s.jobs),
+		Sheds:          s.sheds.Load(),
+		Evictions:      evictions,
+		HandleBytes:    handleBytes,
 	}
+	if hk := s.cfg.Cluster; hk != nil {
+		hk.AugmentStats(&st)
+	}
+	return st
 }

@@ -16,18 +16,24 @@ fi
 go vet ./...
 go build ./...
 go test ./...
-go test -race . ./internal/machine ./internal/core ./internal/xblas ./internal/server ./internal/obs ./client ./internal/chaos
+go test -race . ./internal/machine ./internal/core ./internal/xblas ./internal/server ./internal/obs ./client ./internal/chaos ./internal/cluster
 
 # Chaos suite: the full client -> fault proxy -> server stack with a
 # mid-workload server kill/restart; every completed solve must be
 # bit-identical and nothing may leak. Bounded: ~10-20s under -race.
 go test -race -count=1 -run 'TestChaosEndToEnd' -timeout 600s ./internal/server
 
+# Cluster chaos suite: three shards behind fault-injecting proxies with one
+# killed mid-workload; zero failed solves, bit-identical answers, and no
+# refactorization on failover.
+go test -race -count=1 -run 'TestClusterChaosFailover' -timeout 600s ./internal/cluster
+
 # Fuzz smoke: the frame codec and the request decoder face the raw network
 # and must never panic; a few seconds of fuzzing guards the invariant
 # without stalling CI (longer runs: make fuzz).
 go test -run='^$' -fuzz='^FuzzReadFrame$' -fuzztime=5s ./internal/wire
 go test -run='^$' -fuzz='^FuzzRequestDecode$' -fuzztime=5s ./internal/server
+go test -run='^$' -fuzz='^FuzzRedirectDecode$' -fuzztime=5s ./internal/server
 
 # Observability overhead guard: the disabled instrumentation path (no
 # Observer, stats off) must stay allocation-free in the kernels and the

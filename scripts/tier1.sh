@@ -8,3 +8,8 @@ set -eux
 go vet ./...
 go build ./...
 go test ./...
+
+# The cluster package is all cross-shard concurrency (replication queues,
+# failover, scatter/gather); its suite is fast enough to run under the race
+# detector on every commit.
+go test -race ./internal/cluster
