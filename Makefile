@@ -1,7 +1,7 @@
 GO ?= go
 SERVE_ADDR ?= 127.0.0.1:7071
 
-.PHONY: check tier1 build test race chaos cluster fuzz bench-kernels bench-blocking benchpar serve loadtest trace
+.PHONY: check tier1 build test race chaos cluster fuzz bench-kernels bench-blocking benchpar bench-analyze serve loadtest trace
 
 check: ## gofmt + vet + build + tests + race detector (CI gate)
 	sh scripts/check.sh
@@ -16,7 +16,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race . ./internal/machine ./internal/core ./internal/xblas ./internal/server ./internal/obs ./client ./internal/cluster
+	$(GO) test -race . ./internal/machine ./internal/core ./internal/xblas ./internal/server ./internal/obs ./client ./internal/cluster ./internal/symbolic ./internal/supernode
 
 chaos: ## fault-injection suite: chaos conn/proxy tests + the end-to-end kill/restart workload, race detector on
 	$(GO) test -race -count=1 ./internal/chaos
@@ -39,6 +39,9 @@ bench-blocking: ## refresh the fixed-vs-adaptive blocking section of BENCH_kerne
 
 benchpar: ## regenerate the tracked host-parallel factorization speedup report
 	$(GO) run ./cmd/sstar-bench -experiment hostpar -out BENCH_hostpar.json
+
+bench-analyze: ## refresh the cold_analysis section of BENCH_service.json (cold-start churn + seq/par/incremental analyze)
+	$(GO) run ./cmd/sstar-load -cold -nx 100 -clients 4 -duration 10s -out BENCH_service.json
 
 trace: ## record a Chrome trace of a small parallel factorization and validate it
 	$(GO) run ./cmd/sstar-bench -trace trace.json -matrix jpwh991 -scale 0.5 -procs 4

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"sync"
 
 	"sstar/internal/core"
 	"sstar/internal/sparse"
@@ -22,6 +23,12 @@ type Analysis struct {
 	opts Options
 	pat  *sparse.Pattern
 	key  uint64
+
+	// sketch is the lazily computed pattern fingerprint of Sketch (the
+	// near-miss cache lookup key); once-guarded so concurrent readers of a
+	// shared Analysis stay safe.
+	sketchOnce sync.Once
+	sketch     PatternSketch
 }
 
 // Analyze runs the analyze phase alone, for callers that factorize many

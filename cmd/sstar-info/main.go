@@ -22,12 +22,13 @@ import (
 
 func main() {
 	var (
-		file  = flag.String("file", "", "Matrix Market file")
-		gen   = flag.String("gen", "", "benchmark matrix name")
-		scale = flag.Float64("scale", 1.0, "generator size multiplier")
-		bsize = flag.Int("bsize", 0, "supernode panel width; 0 = structure-adaptive")
-		amalg = flag.Int("r", 0, "amalgamation factor; 0 under -bsize 0 = cost model chooses")
-		list  = flag.Bool("list", false, "list the benchmark suite and exit")
+		file    = flag.String("file", "", "Matrix Market file")
+		gen     = flag.String("gen", "", "benchmark matrix name")
+		scale   = flag.Float64("scale", 1.0, "generator size multiplier")
+		bsize   = flag.Int("bsize", 0, "supernode panel width; 0 = structure-adaptive")
+		amalg   = flag.Int("r", 0, "amalgamation factor; 0 under -bsize 0 = cost model chooses")
+		list    = flag.Bool("list", false, "list the benchmark suite and exit")
+		workers = flag.Int("workers", 1, "analyze-phase worker goroutines (symbolic subtrees, candidate sweep, block builds)")
 	)
 	flag.Parse()
 
@@ -72,6 +73,7 @@ func main() {
 	fmt.Printf("zero-free diag:   %v\n", stats.DiagFree)
 
 	sym := core.Analyze(a, core.AnalyzeOptions{
+		Workers:   *workers,
 		Supernode: supernode.Options{MaxBlock: *bsize, Amalgamate: *amalg},
 	})
 	work := sym.PermutedMatrix(a)
@@ -106,6 +108,15 @@ func main() {
 	fmt.Printf("elimination forest height: %d of %d blocks (tree parallelism proxy)\n",
 		ordering.TreeHeight(forest), p.NB)
 	fmt.Printf("flop-weighted panel width: %.1f\n", p.FlopWeightedWidth())
+
+	pt, tm := sym.Phases, p.Times
+	fmt.Printf("\nanalyze-phase breakdown (workers=%d):\n", *workers)
+	fmt.Printf("ordering:                  %9.2f ms\n", float64(pt.OrderingNs)/1e6)
+	fmt.Printf("symbolic fill:             %9.2f ms\n", float64(pt.SymbolicNs)/1e6)
+	fmt.Printf("partition:                 %9.2f ms\n", float64(pt.PartitionNs)/1e6)
+	fmt.Printf("  supernode detect:        %9.2f ms\n", float64(tm.DetectNs)/1e6)
+	fmt.Printf("  blocking choice:         %9.2f ms\n", float64(tm.ChooseNs)/1e6)
+	fmt.Printf("  structure build:         %9.2f ms\n", float64(tm.BuildNs)/1e6)
 }
 
 func fatalf(format string, args ...any) {

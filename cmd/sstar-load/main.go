@@ -95,12 +95,17 @@ func main() {
 		retries  = flag.Int("retries", 0, "client retry attempts per request (0 disables; sheds and idempotent transport failures only)")
 		timeout  = flag.Duration("timeout", 0, "per-request deadline (0 = none; set this when the path can stall, e.g. behind sstar-chaos)")
 		clusterN = flag.String("cluster", "", "comma-separated shard counts for the in-process cluster scaling bench (e.g. 1,3); merges a cluster section into -out and exits")
+		cold     = flag.Bool("cold", false, "run the cold-analysis bench: zipfian near-miss structure churn against an in-process server plus a sequential/parallel/incremental analyze comparison; merges a cold_analysis section into -out and exits")
 		out      = flag.String("out", "BENCH_service.json", "report output path")
 	)
 	flag.Parse()
 
 	if *clusterN != "" {
 		runClusterBench(*clusterN, *clients, *duration, *patterns, *nx, *out)
+		return
+	}
+	if *cold {
+		runColdBench(*clients, *duration, *nx, *cacheSz, *workers, *factorW, *seed, *out)
 		return
 	}
 

@@ -52,6 +52,11 @@ type AnalyzeOptions struct {
 	// paper's multiple minimum degree on A^T A, the default) or "colmmd"
 	// (column minimum degree computed directly on A, COLMMD-style).
 	Ordering string
+	// Workers bounds the host goroutines of the analyze phase: the parallel
+	// symbolic fill computation and the partition build (unless
+	// Supernode.Workers pins the latter separately). <= 1 runs sequentially.
+	// The analysis is byte-identical at every worker count.
+	Workers int
 	// Obs, when non-nil, receives one Phase event per analyze stage
 	// (ordering, symbolic, partition). Nil disables all timing work.
 	Obs obs.Sink
@@ -64,6 +69,11 @@ type PhaseTimes struct {
 	OrderingNs  int64
 	SymbolicNs  int64
 	PartitionNs int64
+	// PatchNs is the incremental re-analysis time when this Symbolic was
+	// produced by patching a cached analysis (0 for full analyzes); such a
+	// Symbolic leaves OrderingNs and SymbolicNs at 0 since those stages were
+	// inherited, not run.
+	PatchNs int64
 }
 
 // Analyze runs the S* preprocessing pipeline on a: Duff's maximum transversal
@@ -110,11 +120,23 @@ func Analyze(a *sparse.CSR, o AnalyzeOptions) *Symbolic {
 		sym.ColPerm = cp
 	})
 	phase(obs.PhaseSymbolic, &sym.Phases.SymbolicNs, func() {
-		sym.Static = symbolic.Factorize(sparse.PatternOf(work))
+		sym.Static = symbolic.FactorizeWorkers(sparse.PatternOf(work), o.Workers)
 	})
 	phase(obs.PhasePartition, &sym.Phases.PartitionNs, func() {
-		sym.Partition = supernode.NewPartition(sym.Static, o.Supernode)
+		sn := o.Supernode
+		if sn.Workers == 0 {
+			sn.Workers = o.Workers
+		}
+		sym.Partition = supernode.NewPartition(sym.Static, sn)
 	})
+	if o.Obs != nil {
+		// Partition sub-phase breakdown, emitted after the coarse phase so
+		// sinks see detail inside the total they already received.
+		tm := sym.Partition.Times
+		o.Obs.Phase(obs.PhaseDetect, tm.DetectNs)
+		o.Obs.Phase(obs.PhaseChoose, tm.ChooseNs)
+		o.Obs.Phase(obs.PhaseBuild, tm.BuildNs)
+	}
 	return sym
 }
 

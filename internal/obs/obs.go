@@ -26,6 +26,14 @@ const (
 	PhasePartition = "partition" // 2D L/U supernode partition
 	PhaseFactor    = "factor"    // numeric factorization
 	PhaseSolve     = "solve"     // triangular solves
+
+	// Sub-phases of the partition stage and the incremental analyze path.
+	// Emitted in addition to (not instead of) the phases above; sinks that
+	// only know the coarse five keep working by ignoring unknown names.
+	PhaseDetect = "partition-detect" // strict supernode detection
+	PhaseChoose = "partition-choose" // amalgamation + blocking choice
+	PhaseBuild  = "partition-build"  // per-block structure build
+	PhasePatch  = "patch"            // incremental symbolic re-analysis
 )
 
 // Task kinds of TaskEvent.Kind, matching the paper's notation.

@@ -48,6 +48,37 @@ type cacheEntry struct {
 	an   *sstar.Analysis
 }
 
+// patchSimilarityMin gates the near-miss lookup: a cached entry qualifies as
+// a patch base only when its pattern-sketch similarity to the request
+// reaches this. The sketch is a coarse estimator — the gate only has to keep
+// obviously unrelated structures from paying a pattern diff; Analysis.Patch
+// measures the exact diff and falls back on its own.
+const patchSimilarityMin = 0.75
+
+// nearest returns the cached analysis most similar to a's pattern under the
+// same (normalized) options — the second-chance candidate the server patches
+// incrementally when the exact structure key missed. Entries must share the
+// order and the options and clear patchSimilarityMin; nil when none does.
+// LRU positions and hit/miss counters are untouched: this is a miss-path
+// helper, and the caller accounts for patches separately.
+func (c *analysisCache) nearest(a *sstar.Matrix, opts sstar.Options) *sstar.Analysis {
+	sk := sstar.SketchOf(a)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var best *sstar.Analysis
+	bestSim := patchSimilarityMin
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*cacheEntry)
+		if e.opts != opts || e.an.N() != a.N {
+			continue
+		}
+		if sim := sk.Similarity(e.an.Sketch()); sim >= bestSim && (best == nil || sim > bestSim) {
+			best, bestSim = e.an, sim
+		}
+	}
+	return best
+}
+
 func newAnalysisCache(capacity int) *analysisCache {
 	if capacity < 1 {
 		capacity = 1

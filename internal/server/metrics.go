@@ -3,7 +3,9 @@ package server
 import (
 	"net/http"
 	"net/http/pprof"
+	"time"
 
+	"sstar"
 	"sstar/internal/obs"
 	"sstar/internal/xblas"
 )
@@ -23,6 +25,15 @@ type metrics struct {
 	factor    *obs.Histogram
 	solve     *obs.Histogram
 	request   *obs.Histogram
+
+	// Analyze-phase breakdown, observed once per freshly computed analysis
+	// (cache hits contribute nothing — they ran no phase).
+	phOrdering *obs.Histogram
+	phSymbolic *obs.Histogram
+	phDetect   *obs.Histogram
+	phChoose   *obs.Histogram
+	phBuild    *obs.Histogram
+	phPatch    *obs.Histogram
 }
 
 func newMetrics(s *Server) *metrics {
@@ -111,7 +122,43 @@ func newMetrics(s *Server) *metrics {
 		"Triangular-solve time of solve requests.")
 	m.request = reg.Histogram("sstar_server_request_seconds",
 		"End-to-end request processing time, queue wait excluded.")
+
+	reg.CounterFunc("sstar_server_analysis_patches_total",
+		"Cache misses served by incrementally patching a near-miss cached analysis.",
+		func() float64 { return float64(s.patches.Load()) })
+	reg.CounterFunc("sstar_server_analysis_patch_fallbacks_total",
+		"Near-miss patch candidates that fell back to a full analyze (diff over budget, lost diagonal).",
+		func() float64 { return float64(s.patchFallbacks.Load()) })
+	m.phOrdering = reg.Histogram("sstar_analyze_ordering_seconds",
+		"Ordering stage (max transversal + minimum degree) of freshly computed analyses.")
+	m.phSymbolic = reg.Histogram("sstar_analyze_symbolic_seconds",
+		"Static symbolic fill computation of freshly computed analyses.")
+	m.phDetect = reg.Histogram("sstar_analyze_detect_seconds",
+		"Strict supernode detection of freshly computed analyses.")
+	m.phChoose = reg.Histogram("sstar_analyze_choose_seconds",
+		"Blocking choice (amalgamation sweep + split planning) of freshly computed analyses.")
+	m.phBuild = reg.Histogram("sstar_analyze_build_seconds",
+		"Per-block partition structure build of freshly computed analyses.")
+	m.phPatch = reg.Histogram("sstar_analyze_patch_seconds",
+		"Incremental symbolic re-analysis time of patched analyses.")
 	return m
+}
+
+// observeAnalyze records the phase breakdown of one freshly computed (or
+// patched) analysis. Zero phases are skipped: a patched analysis inherited
+// its ordering and symbolic stages, a full one ran no patch.
+func (m *metrics) observeAnalyze(ph sstar.AnalyzePhases) {
+	obsPh := func(h *obs.Histogram, d time.Duration) {
+		if d > 0 {
+			h.ObserveNs(int64(d))
+		}
+	}
+	obsPh(m.phOrdering, ph.Ordering)
+	obsPh(m.phSymbolic, ph.Symbolic)
+	obsPh(m.phDetect, ph.Detect)
+	obsPh(m.phChoose, ph.Choose)
+	obsPh(m.phBuild, ph.Build)
+	obsPh(m.phPatch, ph.Patch)
 }
 
 // observe records the phase split of one processed request and its span on

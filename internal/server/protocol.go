@@ -179,6 +179,10 @@ type RequestStats struct {
 	// CacheHit reports whether OpFactorize found the structure's analysis
 	// in the cache.
 	CacheHit bool
+	// Patched reports that the analysis was derived incrementally from a
+	// cached near-miss structure (Analysis.Patch) instead of computed from
+	// scratch — a cold key that did not pay a full analyze.
+	Patched bool
 	// Workers is the server's request-level worker pool size, reported so
 	// clients can attribute the cost split: QueueNs grows with
 	// Workers too small, FactorNs shrinks with FactorWorkers.
@@ -220,6 +224,12 @@ type ServerStats struct {
 	// thundering herd on a new structure computes the symbolic analysis
 	// once, and every other herd member counts here.
 	Coalesced int64
+	// Patches counts cache misses served by incrementally patching a
+	// near-miss cached analysis instead of a full analyze; PatchFallbacks
+	// counts near-miss candidates where the incremental path refused (diff
+	// over budget, lost diagonal) and a full analyze ran after all.
+	Patches        int64
+	PatchFallbacks int64
 
 	// Cluster fields — zero on a standalone server. On a shard they
 	// describe that shard; on a stats response aggregated by the router

@@ -36,6 +36,17 @@ type Config struct {
 	QueueDepth int
 	// CacheEntries caps the analysis LRU cache (default 64 structures).
 	CacheEntries int
+	// PatchMaxDiff tunes the incremental re-analysis path: on an analysis
+	// cache miss the server looks for a cached analysis of a structurally
+	// similar pattern (same order and options, pattern-sketch similarity at
+	// least patchSimilarityMin) and derives the new analysis by
+	// Analysis.Patch instead of analyzing from scratch, provided the
+	// structural diff stays under this fraction of the new pattern's
+	// nonzeros. 0 selects the library default (sstar.DefaultPatchMaxDiff);
+	// a negative value disables the second-chance lookup entirely. Patched
+	// analyses are byte-identical to a pinned-ordering recompute and
+	// replicate exactly like cold ones.
+	PatchMaxDiff float64
 	// MaxFrame caps an incoming frame payload (default
 	// wire.DefaultMaxPayload); oversized or corrupt-length frames fail the
 	// connection, never the server.
@@ -169,6 +180,8 @@ type Server struct {
 	factorizes        atomic.Int64
 	refactorizes      atomic.Int64
 	solves            atomic.Int64
+	patches           atomic.Int64
+	patchFallbacks    atomic.Int64
 	replicasInstalled atomic.Int64
 
 	// Blocking choice of the most recent factorize (cache hit or miss),
@@ -506,21 +519,49 @@ func (s *Server) doFactorize(req *Request) *Response {
 	// Observers are a local-process concern: they cannot travel the wire,
 	// and the cache's exact-options check must not see one.
 	opts.Observer = nil
+	// The patch budget is server policy too, normalized for the same
+	// reason as HostWorkers (and equally excluded from the key).
+	opts.PatchMaxDiff = s.cfg.PatchMaxDiff
 	stats.FactorWorkers = s.cfg.FactorWorkers
 	key := sstar.StructureKey(a, opts)
 	t0 := time.Now()
 	// Singleflight on the cold analysis: a thundering herd on a new
 	// structure computes the symbolic analysis once; every other herd
 	// member waits for the leader's result (and counts as a cache hit —
-	// it paid no analyze).
+	// it paid no analyze). Before paying a full analyze, the leader gives
+	// the cache a second chance: a near-miss entry (same order and options,
+	// similar pattern sketch) is patched incrementally, re-running the
+	// symbolic computation only on the changed entries' propagation cone.
+	patched := false
 	an, hit, computed, err := s.cache.getOrCompute(key, a, opts, func() (*sstar.Analysis, error) {
+		if s.cfg.PatchMaxDiff >= 0 {
+			if base := s.cache.nearest(a, opts); base != nil {
+				an2, info, err := base.Patch(a)
+				if err != nil {
+					return nil, err
+				}
+				if info.Patched {
+					patched = true
+					s.patches.Add(1)
+				} else {
+					// Patch already fell back to the full analyze
+					// internally; an2 is that analysis.
+					s.patchFallbacks.Add(1)
+				}
+				return an2, nil
+			}
+		}
 		return sstar.Analyze(a, opts)
 	})
 	if err != nil {
 		return errResponse(err)
 	}
 	stats.CacheHit = hit
+	stats.Patched = patched
 	stats.AnalyzeNs = time.Since(t0).Nanoseconds()
+	if computed {
+		s.met.observeAnalyze(an.Phases())
+	}
 	hk := s.cfg.Cluster
 	if computed && hk != nil {
 		hk.Analyzed(key, an)
@@ -738,6 +779,8 @@ func (s *Server) Stats() ServerStats {
 		CacheMisses:    miss,
 		CacheEntries:   entries,
 		Coalesced:      s.cache.coalescedCount(),
+		Patches:        s.patches.Load(),
+		PatchFallbacks: s.patchFallbacks.Load(),
 		Handles:        nHandles,
 		ReplicaHandles: s.reg.replicaCount(),
 		Workers:        s.cfg.Workers,

@@ -301,3 +301,142 @@ func RandomSparse(n, avgDeg int, seed int64) *CSR {
 	}
 	return coo.ToCSR()
 }
+
+// PerturbPattern returns a structural near-miss of a: roughly add random
+// entries inserted and del random off-diagonal entries deleted, never
+// touching the diagonal and never emptying a row or a column — the solver
+// service's "same structure plus a few entries" tenant pattern. Retained
+// entries keep their values; inserted entries get small random ones.
+// Deterministic in seed.
+func PerturbPattern(a *CSR, add, del int, seed int64) *CSR {
+	rng := rand.New(rand.NewSource(seed))
+	n := a.N
+	rows := make([]map[int]float64, n)
+	colCount := make([]int, a.M)
+	for i := 0; i < n; i++ {
+		cols, vals := a.Row(i)
+		rows[i] = make(map[int]float64, len(cols))
+		for p, j := range cols {
+			rows[i][j] = vals[p]
+			colCount[j]++
+		}
+	}
+	for k := 0; k < del; k++ {
+		for try := 0; try < 64; try++ {
+			i := rng.Intn(n)
+			if len(rows[i]) < 2 {
+				continue
+			}
+			j := rng.Intn(n)
+			if j == i || colCount[j] < 2 {
+				continue
+			}
+			if _, ok := rows[i][j]; !ok {
+				continue
+			}
+			delete(rows[i], j)
+			colCount[j]--
+			break
+		}
+	}
+	for k := 0; k < add; k++ {
+		for try := 0; try < 64; try++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i == j {
+				continue
+			}
+			if _, ok := rows[i][j]; ok {
+				continue
+			}
+			rows[i][j] = 0.02 * (2*rng.Float64() - 1)
+			colCount[j]++
+			break
+		}
+	}
+	coo := NewCOO(n, a.M)
+	for i := 0; i < n; i++ {
+		for j, v := range rows[i] {
+			coo.Add(i, j, v)
+		}
+	}
+	return coo.ToCSR()
+}
+
+// PerturbLocal returns a copy of square a with `del` random off-diagonal
+// entries removed and `add` entries added along length-2 paths of the
+// structure graph: a new entry (u, v) requires an existing pair (u, w),
+// (w, v). This is the structure-preserving churn of a simulation service —
+// a new device couples nodes that already interact through a neighbor — and
+// unlike the uniform PerturbPattern it adds entries the factorization's fill
+// largely anticipates, so incremental re-analysis sees a small propagation
+// cone. Diagonal entries are never touched.
+func PerturbLocal(a *CSR, add, del int, seed int64) *CSR {
+	rng := rand.New(rand.NewSource(seed))
+	n := a.N
+	rows := make([]map[int]float64, n)
+	colCount := make([]int, a.M)
+	for i := 0; i < n; i++ {
+		cols, vals := a.Row(i)
+		rows[i] = make(map[int]float64, len(cols))
+		for p, j := range cols {
+			rows[i][j] = vals[p]
+			colCount[j]++
+		}
+	}
+	for k := 0; k < del; k++ {
+		for try := 0; try < 64; try++ {
+			i := rng.Intn(n)
+			if len(rows[i]) < 2 {
+				continue
+			}
+			j := rng.Intn(n)
+			if j == i || colCount[j] < 2 {
+				continue
+			}
+			if _, ok := rows[i][j]; !ok {
+				continue
+			}
+			delete(rows[i], j)
+			colCount[j]--
+			break
+		}
+	}
+	// Adjacency snapshot for path-2 sampling (deletions above excluded).
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := range rows[i] {
+			if j != i && j < n {
+				adj[i] = append(adj[i], j)
+			}
+		}
+	}
+	for k := 0; k < add; k++ {
+		for try := 0; try < 64; try++ {
+			u := rng.Intn(n)
+			if len(adj[u]) == 0 {
+				continue
+			}
+			w := adj[u][rng.Intn(len(adj[u]))]
+			if len(adj[w]) == 0 {
+				continue
+			}
+			v := adj[w][rng.Intn(len(adj[w]))]
+			if v == u {
+				continue
+			}
+			if _, ok := rows[u][v]; ok {
+				continue
+			}
+			rows[u][v] = 0.02 * (2*rng.Float64() - 1)
+			colCount[v]++
+			break
+		}
+	}
+	coo := NewCOO(n, a.M)
+	for i := 0; i < n; i++ {
+		for j, v := range rows[i] {
+			coo.Add(i, j, v)
+		}
+	}
+	return coo.ToCSR()
+}

@@ -28,6 +28,8 @@
 package supernode
 
 import (
+	"time"
+
 	"sstar/internal/symbolic"
 )
 
@@ -155,32 +157,47 @@ func boundsOf(supers []superStruct, splits []int) []int {
 // panel widths of the winner, and build the partition on those irregular
 // boundaries.
 func newAdaptivePartition(st *symbolic.Static, o Options) *Partition {
-	strict := detectSupernodes(st)
+	var tm Times
+	t0 := time.Now()
+	strict := detectSupernodesWorkers(st, o.Workers)
+	tm.DetectNs = time.Since(t0).Nanoseconds()
+	t0 = time.Now()
 	cands := adaptiveAmalgCandidates
 	if o.Amalgamate > 0 {
 		cands = []int{o.Amalgamate}
 	}
-	var (
-		bestR      int
-		bestSupers []superStruct
-		bestPlan   []int
-		bestCost   float64
-		have       bool
-	)
-	for _, r := range cands {
-		supers := amalgamateStructs(st, strict, r)
+	// Evaluate the candidates concurrently — each runs its own merge pass and
+	// split plan into an index-owned slot — then pick the winner by strictly
+	// lower cost, lowest index on ties: exactly the order the sequential scan
+	// would have preferred, so the choice is worker-count independent.
+	type cand struct {
+		supers []superStruct
+		plan   []int
+		cost   float64
+	}
+	results := make([]cand, len(cands))
+	parallelFor(len(cands), o.Workers, func(i int) {
+		supers := amalgamateStructs(st, strict, cands[i])
 		plan, cost := planSplits(supers)
-		if !have || cost < bestCost {
-			bestR, bestSupers, bestPlan, bestCost, have = r, supers, plan, cost, true
+		results[i] = cand{supers: supers, plan: plan, cost: cost}
+	})
+	best := 0
+	for i := 1; i < len(results); i++ {
+		if results[i].cost < results[best].cost {
+			best = i
 		}
 	}
-	bounds := boundsOf(bestSupers, bestPlan)
+	bestR, bestCost := cands[best], results[best].cost
+	bounds := boundsOf(results[best].supers, results[best].plan)
 	if len(bounds) == 1 {
 		// n == 0: keep the fixed path's shape (one empty block) so the
 		// two paths agree on degenerate input.
 		bounds = append(bounds, 0)
 	}
-	p := buildPartition(st, bounds)
+	tm.ChooseNs = time.Since(t0).Nanoseconds()
+	t0 = time.Now()
+	p := buildPartition(st, bounds, o.Workers)
+	tm.BuildNs = time.Since(t0).Nanoseconds()
 	maxw := 0
 	for b := 0; b < p.NB; b++ {
 		if s := p.Size(b); s > maxw {
@@ -188,5 +205,6 @@ func newAdaptivePartition(st *symbolic.Static, o Options) *Partition {
 		}
 	}
 	p.Choice = Choice{Adaptive: true, MaxBlock: maxw, Amalgamate: bestR, ModelCost: bestCost}
+	p.Times = tm
 	return p
 }

@@ -1,0 +1,78 @@
+package supernode
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"sstar/internal/symbolic"
+)
+
+// partParMin is the matrix order below which the parallel detection path is
+// skipped outright (the per-column predicate is too cheap to farm out). A
+// variable, not a constant, so tests can force the parallel path.
+var partParMin = 2048
+
+// parallelFor runs f(i) for every i in [0, n) on up to workers goroutines,
+// pulling indices from a shared cursor. workers <= 1 runs inline. Every use
+// in this package writes only index-i-owned slots, so scheduling order never
+// changes the result.
+func parallelFor(n, workers int, f func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// detectSupernodesWorkers is detectSupernodes on up to workers goroutines.
+// The boundary predicate at column k reads only columns k-1 and k, so the
+// columns split into chunks freely; the boundary list is assembled in column
+// order afterwards, making the result identical to the sequential scan.
+func detectSupernodesWorkers(st *symbolic.Static, workers int) []int {
+	n := st.N
+	if workers <= 1 || n < partParMin {
+		return detectSupernodes(st)
+	}
+	isBound := make([]bool, n)
+	const chunk = 512
+	nchunks := (n - 1 + chunk - 1) / chunk
+	parallelFor(nchunks, workers, func(ci int) {
+		lo := 1 + ci*chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		for k := lo; k < hi; k++ {
+			if !(uNested(st.URows[k-1], st.URows[k]) && lNested(st.LCols[k-1], st.LCols[k], int32(k))) {
+				isBound[k] = true
+			}
+		}
+	})
+	bounds := []int{0}
+	for k := 1; k < n; k++ {
+		if isBound[k] {
+			bounds = append(bounds, k)
+		}
+	}
+	return append(bounds, n)
+}

@@ -1,0 +1,62 @@
+package supernode
+
+import (
+	"reflect"
+	"testing"
+
+	"sstar/internal/sparse"
+	"sstar/internal/symbolic"
+)
+
+// samePartition compares everything but Times (timings legitimately differ
+// run to run).
+func samePartition(a, b *Partition) bool {
+	ac, bc := *a, *b
+	ac.Times, bc.Times = Times{}, Times{}
+	return reflect.DeepEqual(ac, bc)
+}
+
+// TestPartitionWorkerCountIndependent pins the determinism contract of the
+// partitioning layer: fixed and adaptive blocking produce structurally
+// identical partitions at every worker count, including with the parallel
+// detection path forced on.
+func TestPartitionWorkerCountIndependent(t *testing.T) {
+	oldMin := partParMin
+	partParMin = 2
+	t.Cleanup(func() { partParMin = oldMin })
+	mats := []*sparse.CSR{
+		sparse.Grid2D(18, 18, false, sparse.GenOptions{Seed: 1}),
+		sparse.Circuit(400, 4, sparse.GenOptions{Seed: 5}),
+		sparse.RandomSparse(250, 3, 9),
+	}
+	optsList := []Options{
+		{},                            // adaptive
+		{MaxBlock: 25, Amalgamate: 4}, // paper's fixed setup
+		{MaxBlock: 8},                 // fixed, no amalgamation
+		{Amalgamate: 6},               // adaptive with pinned r
+	}
+	for mi, a := range mats {
+		st := symbolic.Factorize(sparse.PatternOf(a))
+		for oi, o := range optsList {
+			want := NewPartition(st, o) // Workers == 0: sequential
+			for _, w := range []int{1, 2, 4, 8} {
+				o.Workers = w
+				got := NewPartition(st, o)
+				if !samePartition(got, want) {
+					t.Fatalf("matrix %d opts %d: partition at %d workers differs from sequential", mi, oi, w)
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionTimesPopulated(t *testing.T) {
+	a := sparse.Grid2D(16, 16, false, sparse.GenOptions{Seed: 2})
+	st := symbolic.Factorize(sparse.PatternOf(a))
+	for _, o := range []Options{{}, {MaxBlock: 16, Amalgamate: 4}} {
+		p := NewPartition(st, o)
+		if p.Times.DetectNs <= 0 || p.Times.BuildNs <= 0 {
+			t.Fatalf("partition times not recorded: %+v", p.Times)
+		}
+	}
+}

@@ -7,6 +7,8 @@
 package supernode
 
 import (
+	"time"
+
 	"sstar/internal/symbolic"
 )
 
@@ -26,6 +28,12 @@ type Options struct {
 	// adaptive blocking (MaxBlock <= 0), r = 0 lets the cost model choose
 	// r too, while r > 0 pins it.
 	Amalgamate int
+	// Workers bounds the goroutines used inside partitioning — supernode
+	// detection, the adaptive candidate sweep and the per-block structure
+	// builds. <= 1 runs sequentially; the partition is identical at any
+	// worker count (every parallel stage writes index-owned slots and the
+	// candidate winner is picked by a deterministic lowest-index rule).
+	Workers int
 }
 
 // DefaultOptions selects structure-adaptive blocking: the panel widths and
@@ -62,6 +70,20 @@ type Partition struct {
 	// Choice records how the blocking was selected (fixed options or the
 	// adaptive cost model), so analyses can report and cache the decision.
 	Choice Choice
+
+	// Times is the partition-phase cost split, recorded at construction.
+	// Purely observational: two partitions are structurally equal iff every
+	// other field is equal, regardless of Times.
+	Times Times
+}
+
+// Times splits the partition build into its stages, in nanoseconds: strict
+// supernode detection, the blocking choice (amalgamation and split planning,
+// including the adaptive candidate sweep), and the structure build.
+type Times struct {
+	DetectNs int64
+	ChooseNs int64
+	BuildNs  int64
 }
 
 // Choice describes the blocking a partition was built with. For a fixed
@@ -136,19 +158,29 @@ func NewPartition(st *symbolic.Static, o Options) *Partition {
 	if o.MaxBlock <= 0 {
 		return newAdaptivePartition(st, o)
 	}
-	bounds := detectSupernodes(st)
+	var tm Times
+	t0 := time.Now()
+	bounds := detectSupernodesWorkers(st, o.Workers)
+	tm.DetectNs = time.Since(t0).Nanoseconds()
+	t0 = time.Now()
 	if o.Amalgamate > 0 {
 		bounds = amalgamate(st, bounds, o.Amalgamate)
 	}
 	bounds = split(bounds, o.MaxBlock)
-	p := buildPartition(st, bounds)
+	tm.ChooseNs = time.Since(t0).Nanoseconds()
+	t0 = time.Now()
+	p := buildPartition(st, bounds, o.Workers)
+	tm.BuildNs = time.Since(t0).Nanoseconds()
 	p.Choice = Choice{MaxBlock: o.MaxBlock, Amalgamate: o.Amalgamate}
+	p.Times = tm
 	return p
 }
 
 // buildPartition materializes the partition for a final set of panel
 // boundaries: per-panel U/L structures and their block-granularity images.
-func buildPartition(st *symbolic.Static, bounds []int) *Partition {
+// Blocks are independent (each writes only its own slots and reads the
+// frozen BlockOf map), so they spread across workers freely.
+func buildPartition(st *symbolic.Static, bounds []int, workers int) *Partition {
 	n := st.N
 	nb := len(bounds) - 1
 	p := &Partition{
@@ -166,7 +198,7 @@ func buildPartition(st *symbolic.Static, bounds []int) *Partition {
 			p.BlockOf[c] = b
 		}
 	}
-	for b := 0; b < nb; b++ {
+	parallelFor(nb, workers, func(b int) {
 		end := int32(bounds[b+1])
 		var ucols, lrows []int32
 		for c := bounds[b]; c < bounds[b+1]; c++ {
@@ -185,7 +217,7 @@ func buildPartition(st *symbolic.Static, bounds []int) *Partition {
 		p.LRows[b] = sortDedup(lrows)
 		p.UBlocks[b] = p.blocksOf(p.UCols[b])
 		p.LBlocks[b] = p.blocksOf(p.LRows[b])
-	}
+	})
 	return p
 }
 
@@ -264,38 +296,40 @@ func amalgamate(st *symbolic.Static, bounds []int, r int) []int {
 	return out
 }
 
-// buildStruct computes the trailing U/L structure of the column range
-// [lo, hi) treated as one supernode.
-func buildStruct(st *symbolic.Static, lo, hi int) superStruct {
-	var uc, lr []int32
-	for c := lo; c < hi; c++ {
-		for _, j := range st.URows[c] {
-			if int(j) >= hi {
-				uc = append(uc, j)
-			}
-		}
-		for _, i := range st.LCols[c] {
-			if int(i) >= hi {
-				lr = append(lr, i)
-			}
-		}
+// strictStruct returns the trailing U/L structure of the strict supernode
+// [lo, hi) in O(1): by the nestedness that defines strictness, every member
+// column's structure past hi equals the last column's, so the supernode's
+// trailing structure is URows[hi-1] minus its diagonal and LCols[hi-1]
+// verbatim. The slices alias the static structure and must not be mutated
+// (the merge pass only reads them; merged supernodes get fresh slices from
+// mergeSorted).
+func strictStruct(st *symbolic.Static, lo, hi int) superStruct {
+	s := superStruct{lo: lo, hi: hi}
+	if hi <= lo {
+		return s // degenerate n == 0 range
 	}
-	return superStruct{lo: lo, hi: hi, ucols: sortDedup(uc), lrows: sortDedup(lr)}
+	if u := st.URows[hi-1]; len(u) > 1 {
+		s.ucols = u[1:]
+	}
+	s.lrows = st.LCols[hi-1]
+	return s
 }
 
-// buildStructs computes the structures of every supernode in bounds without
-// merging (the r = 0 view the adaptive chooser also evaluates).
+// buildStructs returns the structures of every strict supernode in bounds
+// without merging (the r = 0 view the adaptive chooser also evaluates).
+// bounds must be strict supernode boundaries of st.
 func buildStructs(st *symbolic.Static, bounds []int) []superStruct {
 	out := make([]superStruct, 0, len(bounds)-1)
 	for s := 0; s+1 < len(bounds); s++ {
-		out = append(out, buildStruct(st, bounds[s], bounds[s+1]))
+		out = append(out, strictStruct(st, bounds[s], bounds[s+1]))
 	}
 	return out
 }
 
 // amalgamateStructs runs the merge pass and returns the merged supernodes
 // with their trailing structures (the raw material of both the bounds-only
-// amalgamate above and the adaptive cost model).
+// amalgamate above and the adaptive cost model). bounds must be strict
+// supernode boundaries of st, which makes the initial structures O(1) each.
 func amalgamateStructs(st *symbolic.Static, bounds []int, r int) []superStruct {
 	ns := len(bounds) - 1
 	if ns < 1 {
@@ -304,10 +338,10 @@ func amalgamateStructs(st *symbolic.Static, bounds []int, r int) []superStruct {
 	if r <= 0 {
 		return buildStructs(st, bounds)
 	}
-	cur := buildStruct(st, bounds[0], bounds[1])
+	cur := strictStruct(st, bounds[0], bounds[1])
 	var out []superStruct
 	for s := 1; s < ns; s++ {
-		next := buildStruct(st, bounds[s], bounds[s+1])
+		next := strictStruct(st, bounds[s], bounds[s+1])
 		if merged, ok := tryMerge(cur, next, r); ok {
 			cur = merged
 			continue

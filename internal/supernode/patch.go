@@ -1,0 +1,167 @@
+package supernode
+
+// Incremental partitioning for patched symbolic structures. When a static
+// structure was produced by symbolic.Patch, most of its columns alias the
+// base structure's slices unchanged. The partition of such a structure can
+// reuse the base partition's per-block unions for every block whose column
+// range matches a base block made of untouched columns — only blocks
+// overlapping the recomputed cone pay the O(structure) union work.
+//
+// The blocking *decision* is not re-made: a patched analysis re-applies the
+// base's settled Choice (the amalgamation factor and, for the fixed path,
+// the panel cap), just as it reuses the base's ordering. The result is
+// byte-identical to running the pinned-choice partition on the new structure
+// from scratch (pinnedPartition below, which the tests compare against).
+
+import (
+	"time"
+
+	"sstar/internal/symbolic"
+)
+
+// pinnedBounds computes panel boundaries for st with the blocking decisions
+// of ch re-applied: the adaptive per-supernode split plan under ch's pinned
+// amalgamation factor, or the fixed amalgamate+split pipeline. Returns the
+// bounds and the Choice describing them.
+func pinnedBounds(st *symbolic.Static, ch Choice, workers int, tm *Times) ([]int, Choice) {
+	t0 := time.Now()
+	strict := detectSupernodesWorkers(st, workers)
+	tm.DetectNs = time.Since(t0).Nanoseconds()
+	t0 = time.Now()
+	var bounds []int
+	if ch.Adaptive {
+		supers := amalgamateStructs(st, strict, ch.Amalgamate)
+		plan, cost := planSplits(supers)
+		bounds = boundsOf(supers, plan)
+		if len(bounds) == 1 {
+			bounds = append(bounds, 0)
+		}
+		maxw := 0
+		for i := 0; i+1 < len(bounds); i++ {
+			if w := bounds[i+1] - bounds[i]; w > maxw {
+				maxw = w
+			}
+		}
+		ch = Choice{Adaptive: true, MaxBlock: maxw, Amalgamate: ch.Amalgamate, ModelCost: cost}
+	} else {
+		bounds = strict
+		if ch.Amalgamate > 0 {
+			bounds = amalgamate(st, bounds, ch.Amalgamate)
+		}
+		bounds = split(bounds, ch.MaxBlock)
+		ch = Choice{MaxBlock: ch.MaxBlock, Amalgamate: ch.Amalgamate}
+	}
+	tm.ChooseNs = time.Since(t0).Nanoseconds()
+	return bounds, ch
+}
+
+// pinnedPartition is the non-incremental reference: the partition of st under
+// the re-applied blocking decisions of ch. PatchPartition is defined to equal
+// it (modulo Times).
+func pinnedPartition(st *symbolic.Static, ch Choice, workers int) *Partition {
+	var tm Times
+	bounds, choice := pinnedBounds(st, ch, workers, &tm)
+	t0 := time.Now()
+	p := buildPartition(st, bounds, workers)
+	tm.BuildNs = time.Since(t0).Nanoseconds()
+	p.Choice = choice
+	p.Times = tm
+	return p
+}
+
+// sameSlice reports whether two int32 slices share content by sharing
+// storage: equal length and the same backing array start (or both empty).
+func sameSlice(a, b []int32) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
+}
+
+// PatchPartition builds the partition of newSt — a structure produced by
+// symbolic.Patch over oldSt — reusing base (the partition of oldSt) wherever
+// possible. The blocking choice is pinned to base.Choice, and the result is
+// byte-identical to building that pinned-choice partition on newSt from
+// scratch; only the per-block union work of blocks touching recomputed
+// columns is actually re-run. The block-granularity images (UBlocks, LBlocks)
+// are always recomputed: they index blocks, and one shifted boundary
+// renumbers every later block.
+func PatchPartition(newSt, oldSt *symbolic.Static, base *Partition, workers int) *Partition {
+	var tm Times
+	bounds, choice := pinnedBounds(newSt, base.Choice, workers, &tm)
+	t0 := time.Now()
+
+	n := newSt.N
+	clean := make([]bool, n)
+	for c := 0; c < n; c++ {
+		clean[c] = sameSlice(newSt.URows[c], oldSt.URows[c]) && sameSlice(newSt.LCols[c], oldSt.LCols[c])
+	}
+
+	nb := len(bounds) - 1
+	p := &Partition{
+		N:       n,
+		NB:      nb,
+		Start:   bounds,
+		BlockOf: make([]int, n),
+		UCols:   make([][]int32, nb),
+		LRows:   make([][]int32, nb),
+		UBlocks: make([][]int32, nb),
+		LBlocks: make([][]int32, nb),
+	}
+	for b := 0; b < nb; b++ {
+		for c := bounds[b]; c < bounds[b+1]; c++ {
+			p.BlockOf[c] = b
+		}
+	}
+	parallelFor(nb, workers, func(b int) {
+		lo, hi := bounds[b], bounds[b+1]
+		if bb := baseBlockAt(base, lo, hi); bb >= 0 && allClean(clean, lo, hi) {
+			// Same column range, every column untouched: the unions are the
+			// base's verbatim.
+			p.UCols[b] = base.UCols[bb]
+			p.LRows[b] = base.LRows[bb]
+		} else {
+			end := int32(hi)
+			var ucols, lrows []int32
+			for c := lo; c < hi; c++ {
+				for _, j := range newSt.URows[c] {
+					if j >= end {
+						ucols = append(ucols, j)
+					}
+				}
+				for _, i := range newSt.LCols[c] {
+					if i >= end {
+						lrows = append(lrows, i)
+					}
+				}
+			}
+			p.UCols[b] = sortDedup(ucols)
+			p.LRows[b] = sortDedup(lrows)
+		}
+		p.UBlocks[b] = p.blocksOf(p.UCols[b])
+		p.LBlocks[b] = p.blocksOf(p.LRows[b])
+	})
+	tm.BuildNs = time.Since(t0).Nanoseconds()
+	p.Choice = choice
+	p.Times = tm
+	return p
+}
+
+// baseBlockAt returns the base block with column range exactly [lo, hi), or
+// -1 when the patched boundaries shifted over it.
+func baseBlockAt(base *Partition, lo, hi int) int {
+	if lo >= len(base.BlockOf) {
+		return -1
+	}
+	bb := base.BlockOf[lo]
+	if base.Start[bb] != lo || base.Start[bb+1] != hi {
+		return -1
+	}
+	return bb
+}
+
+func allClean(clean []bool, lo, hi int) bool {
+	for c := lo; c < hi; c++ {
+		if !clean[c] {
+			return false
+		}
+	}
+	return true
+}

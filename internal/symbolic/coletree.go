@@ -1,0 +1,72 @@
+package symbolic
+
+import "sstar/internal/sparse"
+
+// ColEtree returns the column elimination tree of a square pattern a — the
+// elimination tree of AᵀA — computed directly from the rows of a without
+// forming AᵀA (the Gilbert–Ng–Peyton sp_coletree construction). parent[c] is
+// the tree parent of column c, always > c; roots carry -1.
+//
+// The tree is the decomposition backbone of the parallel symbolic drivers:
+// the final U-row structure of column k is contained in {k} ∪ ancestors(k),
+// so the row-merge computation inside disjoint subtrees is independent (see
+// FactorizeWorkers).
+func ColEtree(a *sparse.Pattern) []int {
+	n := a.N
+	parent := make([]int, n)
+	// firstcol[i] is the leftmost column of row i; each row's columns form a
+	// clique in AᵀA, and by the time column c is processed every column of a
+	// row before c is already linked into one set, so joining the set of the
+	// row's first column stands in for joining every pairwise AᵀA edge.
+	firstcol := make([]int32, n)
+	colCount := make([]int, n+1)
+	for i := 0; i < n; i++ {
+		row := a.Row(i)
+		if len(row) == 0 {
+			panic("symbolic: empty row")
+		}
+		firstcol[i] = int32(row[0])
+		for _, j := range row {
+			colCount[j+1]++
+		}
+	}
+	// Column-wise row lists (CSC of the pattern), built in one pass.
+	for j := 0; j < n; j++ {
+		colCount[j+1] += colCount[j]
+	}
+	colRows := make([]int32, len(a.Ind))
+	next := make([]int, n)
+	copy(next, colCount[:n])
+	for i := 0; i < n; i++ {
+		for _, j := range a.Row(i) {
+			colRows[next[j]] = int32(i)
+			next[j]++
+		}
+	}
+	// Union-find over partial trees with path halving. root[find(x)] is the
+	// highest column absorbed into x's set so far.
+	pp := make([]int32, n)
+	root := make([]int32, n)
+	find := func(x int32) int32 {
+		for pp[x] != x {
+			pp[x] = pp[pp[x]]
+			x = pp[x]
+		}
+		return x
+	}
+	for col := 0; col < n; col++ {
+		c := int32(col)
+		pp[col] = c
+		root[col] = c
+		parent[col] = -1
+		for _, row := range colRows[colCount[col]:colCount[col+1]] {
+			rset := find(firstcol[row])
+			rroot := root[rset]
+			if rroot != c {
+				parent[rroot] = col
+				pp[rset] = c
+			}
+		}
+	}
+	return parent
+}

@@ -1,0 +1,216 @@
+package symbolic
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"sstar/internal/sparse"
+)
+
+// Tuning knobs of the parallel driver. Variables, not constants, so the
+// property tests can force the parallel path on small matrices.
+var (
+	// parMinCols is the matrix order below which FactorizeWorkers runs the
+	// sequential driver outright — the decomposition overhead cannot pay.
+	parMinCols = 256
+	// parMinGrain is the minimum subtree weight (structure entries) one
+	// parallel task should carry.
+	parMinGrain = 512
+)
+
+// FactorizeWorkers is Factorize computed on up to workers goroutines. The
+// result is byte-identical to the sequential one at any worker count: the
+// column elimination tree of the pattern is cut into disjoint subtrees, each
+// subtree runs the unmodified sequential row-merge locally (the merge chain
+// of a row starting inside a subtree provably stays inside it until it exits
+// through the subtree's root — see DESIGN.md "Parallel & incremental symbolic
+// analysis"), and a sequential top phase over the separator columns consumes
+// the groups the subtrees export. Every per-column union is a sort-and-dedup,
+// so scheduling order cannot change any output byte.
+func FactorizeWorkers(a *sparse.Pattern, workers int) *Static {
+	n := a.N
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < parMinCols {
+		return Factorize(a)
+	}
+	parent := ColEtree(a)
+	// Subtree weights: structure entries of the rows starting at each column
+	// (the merge work a column originates), accumulated up the tree. Parents
+	// are always greater than children, so one ascending pass accumulates.
+	weight := make([]int64, n)
+	for i := 0; i < n; i++ {
+		row := a.Row(i)
+		weight[row[0]] += int64(len(row)) + 1
+	}
+	var total int64
+	for c := 0; c < n; c++ {
+		total += weight[c] // before adding children's rollup: own weight only
+	}
+	subW := make([]int64, n)
+	copy(subW, weight)
+	childHead := make([]int32, n)
+	childNext := make([]int32, n)
+	for c := range childHead {
+		childHead[c] = -1
+	}
+	for c := n - 1; c >= 0; c-- { // reverse so lists come out ascending
+		if p := parent[c]; p >= 0 {
+			childNext[c] = childHead[p]
+			childHead[p] = int32(c)
+		}
+	}
+	for c := 0; c < n; c++ { // children precede parents
+		if p := parent[c]; p >= 0 {
+			subW[p] += subW[c]
+		}
+	}
+	// Deterministic subtree selection: walk down from every forest root,
+	// keeping a subtree once it fits the grain and pushing over-grain nodes
+	// into the separator. region[c] is the owning task (-1 = separator).
+	maxGrain := total / int64(4*workers)
+	if maxGrain < int64(parMinGrain) {
+		maxGrain = int64(parMinGrain)
+	}
+	region := make([]int32, n)
+	for c := range region {
+		region[c] = -1
+	}
+	var taskRoots []int32
+	stack := make([]int32, 0, 64)
+	for c := 0; c < n; c++ {
+		if parent[c] == -1 {
+			stack = append(stack, int32(c))
+		}
+	}
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if subW[c] <= maxGrain || childHead[c] == -1 {
+			taskRoots = append(taskRoots, c)
+			continue
+		}
+		// c joins the separator; its children are candidate subtrees.
+		for ch := childHead[c]; ch != -1; ch = childNext[ch] {
+			stack = append(stack, ch)
+		}
+	}
+	if len(taskRoots) < 2 {
+		return Factorize(a)
+	}
+	// Stamp subtree membership and bail out when the separator holds most of
+	// the work (deep chain-like trees): the top phase would dominate.
+	var subTotal int64
+	for t, r := range taskRoots {
+		subTotal += subW[r]
+		stack = append(stack[:0], r)
+		for len(stack) > 0 {
+			c := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			region[c] = int32(t)
+			for ch := childHead[c]; ch != -1; ch = childNext[ch] {
+				stack = append(stack, ch)
+			}
+		}
+	}
+	if subTotal*2 < total {
+		return Factorize(a)
+	}
+	// Per-task ascending column lists and the per-column row starts.
+	colsOf := make([][]int32, len(taskRoots))
+	startRows := make([][]int32, n)
+	for c := 0; c < n; c++ {
+		if t := region[c]; t >= 0 {
+			colsOf[t] = append(colsOf[t], int32(c))
+		}
+	}
+	for i := 0; i < n; i++ {
+		c := a.Row(i)[0]
+		startRows[c] = append(startRows[c], int32(i))
+	}
+	st := &Static{N: n, URows: make([][]int32, n), LCols: make([][]int32, n)}
+	// Run the subtrees on the pool. Tasks write disjoint st slots (their own
+	// columns) and collect exported groups; no ordering between tasks can
+	// matter because no task reads another's output.
+	exports := make([][]*group, len(taskRoots))
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var ms mergeState
+			var parts []*group
+			local := make(map[int32][]*group)
+			for {
+				t := int(cursor.Add(1)) - 1
+				if t >= len(taskRoots) {
+					return
+				}
+				myid := int32(t)
+				var out []*group
+				for _, k := range colsOf[t] {
+					parts = parts[:0]
+					for _, i := range startRows[k] {
+						parts = append(parts, rowGroup(a, int(i)))
+					}
+					if gs, ok := local[k]; ok {
+						parts = append(parts, gs...)
+						delete(local, k)
+					}
+					g := ms.step(int(k), parts, st)
+					if g == nil {
+						continue
+					}
+					if m := g.cols[0]; region[m] == myid {
+						local[m] = append(local[m], g)
+					} else {
+						out = append(out, g)
+					}
+				}
+				if len(local) != 0 {
+					panic("symbolic: parallel subtree left unconsumed groups")
+				}
+				exports[t] = out
+			}
+		}()
+	}
+	wg.Wait()
+	// Sequential top phase over the separator: original rows starting there
+	// plus every group the subtrees exported. Exports land above their
+	// subtree's root, which is always a separator column.
+	bucket := make([][]*group, n)
+	for _, out := range exports {
+		for _, g := range out {
+			m := g.cols[0]
+			if region[m] != -1 {
+				panic("symbolic: exported group does not target the separator")
+			}
+			bucket[m] = append(bucket[m], g)
+		}
+	}
+	var ms mergeState
+	var parts []*group
+	for k := 0; k < n; k++ {
+		if region[k] != -1 {
+			continue
+		}
+		parts = parts[:0]
+		for _, i := range startRows[k] {
+			parts = append(parts, rowGroup(a, int(i)))
+		}
+		parts = append(parts, bucket[k]...)
+		bucket[k] = nil
+		g := ms.step(k, parts, st)
+		if g == nil {
+			continue
+		}
+		m := g.cols[0]
+		if region[m] != -1 {
+			panic("symbolic: separator group re-entered a subtree")
+		}
+		bucket[m] = append(bucket[m], g)
+	}
+	return st
+}

@@ -1,0 +1,104 @@
+package symbolic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sstar/internal/ordering"
+	"sstar/internal/sparse"
+)
+
+// forceParallel drops the parallel driver's size gates so small test
+// matrices exercise the subtree decomposition, restoring them afterwards.
+func forceParallel(t *testing.T) {
+	t.Helper()
+	minCols, minGrain := parMinCols, parMinGrain
+	parMinCols, parMinGrain = 2, 1
+	t.Cleanup(func() { parMinCols, parMinGrain = minCols, minGrain })
+}
+
+func TestColEtreeMatchesATAEtree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(40)
+		a := sparse.RandomSparse(n, 1+rng.Intn(4), seed)
+		got := ColEtree(sparse.PatternOf(a))
+		want := ordering.EliminationTree(sparse.ATAPattern(a))
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColEtreeParentsAboveChildren(t *testing.T) {
+	a := sparse.Grid2D(14, 14, false, sparse.GenOptions{Seed: 3})
+	parent := ColEtree(sparse.PatternOf(a))
+	for c, p := range parent {
+		if p != -1 && p <= c {
+			t.Fatalf("parent[%d] = %d, want > %d or -1", c, p, c)
+		}
+	}
+}
+
+// TestFactorizeWorkersByteIdentical pins the determinism contract: the
+// parallel static structure is byte-identical to the sequential one at every
+// worker count.
+func TestFactorizeWorkersByteIdentical(t *testing.T) {
+	forceParallel(t)
+	mats := []*sparse.CSR{
+		sparse.Grid2D(20, 20, false, sparse.GenOptions{Seed: 1}),
+		sparse.Circuit(300, 4, sparse.GenOptions{Seed: 7, StructuralDrop: 0.2}),
+		sparse.RandomSparse(200, 3, 11),
+		sparse.MemoryCircuitFrac(150, 10, 5),
+	}
+	for mi, a := range mats {
+		p := sparse.PatternOf(a)
+		want := Factorize(p)
+		for _, w := range []int{1, 2, 4, 8} {
+			got := FactorizeWorkers(p, w)
+			if !equalStatic(got, want) {
+				t.Fatalf("matrix %d: parallel static at %d workers differs from sequential", mi, w)
+			}
+		}
+	}
+}
+
+func TestFactorizeWorkersProperty(t *testing.T) {
+	forceParallel(t)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(60)
+		a := sparse.RandomSparse(n, 1+rng.Intn(4), seed)
+		p := sparse.PatternOf(a)
+		want := Factorize(p)
+		for _, w := range []int{2, 3, 4, 8} {
+			if !equalStatic(FactorizeWorkers(p, w), want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFactorizeWorkersLargeGate(t *testing.T) {
+	// With the default gates a small matrix silently runs the sequential
+	// path; a grid above the gate must still match it exactly.
+	a := sparse.Grid2D(24, 24, false, sparse.GenOptions{Seed: 9})
+	p := sparse.PatternOf(a)
+	if !equalStatic(FactorizeWorkers(p, 4), Factorize(p)) {
+		t.Fatal("parallel static differs from sequential above the size gate")
+	}
+}

@@ -1,0 +1,117 @@
+package symbolic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sstar/internal/sparse"
+)
+
+// TestPatchMatchesFromScratch pins the incremental contract: patching the
+// base structure with a randomized ±k-entry diff is byte-identical to a
+// from-scratch factorization of the new pattern.
+func TestPatchMatchesFromScratch(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(80)
+		base := sparse.RandomSparse(n, 1+rng.Intn(4), seed)
+		basePat := sparse.PatternOf(base)
+		old := Factorize(basePat)
+		k := 1 + rng.Intn(6)
+		pert := sparse.PerturbPattern(base, k, rng.Intn(k+1), seed+1)
+		pertPat := sparse.PatternOf(pert)
+		st, stats := Patch(old, basePat, pertPat, 1.0)
+		if st == nil {
+			t.Logf("patch refused: %s", stats.Reason)
+			return false
+		}
+		return equalStatic(st, Factorize(pertPat))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPatchNoChangeReturnsBase(t *testing.T) {
+	a := sparse.RandomSparse(60, 3, 4)
+	p := sparse.PatternOf(a)
+	old := Factorize(p)
+	st, stats := Patch(old, p, p, 0.01)
+	if st != old {
+		t.Fatal("identical pattern should return the base structure")
+	}
+	if stats.Recomputed != 0 || stats.Reused != 60 || stats.ChangedRows != 0 {
+		t.Fatalf("unexpected stats for no-op patch: %+v", stats)
+	}
+}
+
+func TestPatchThresholdFallsBack(t *testing.T) {
+	a := sparse.RandomSparse(80, 3, 4)
+	p := sparse.PatternOf(a)
+	old := Factorize(p)
+	pert := sparse.PerturbPattern(a, 100, 50, 5)
+	st, stats := Patch(old, p, sparse.PatternOf(pert), 0.01)
+	if st != nil {
+		t.Fatal("patch should refuse a diff above the threshold")
+	}
+	if stats.Reason != "diff-above-threshold" {
+		t.Fatalf("reason = %q, want diff-above-threshold", stats.Reason)
+	}
+}
+
+func TestPatchRefusesLostDiagonal(t *testing.T) {
+	coo := sparse.NewCOO(4, 4)
+	for i := 0; i < 4; i++ {
+		coo.Add(i, i, 1)
+		if i > 0 {
+			coo.Add(i, i-1, 1)
+		}
+		if i+1 < 4 {
+			coo.Add(i, i+1, 1)
+		}
+	}
+	a := coo.ToCSR()
+	p := sparse.PatternOf(a)
+	old := Factorize(p)
+	// Remove the (2,2) diagonal entry by hand.
+	coo2 := sparse.NewCOO(4, 4)
+	for i := 0; i < 4; i++ {
+		cols, vals := a.Row(i)
+		for q, j := range cols {
+			if i == 2 && j == 2 {
+				continue
+			}
+			coo2.Add(i, j, vals[q])
+		}
+	}
+	st, stats := Patch(old, p, sparse.PatternOf(coo2.ToCSR()), 1.0)
+	if st != nil || stats.Reason != "diagonal-lost" {
+		t.Fatalf("want diagonal-lost refusal, got st=%v reason=%q", st != nil, stats.Reason)
+	}
+}
+
+// TestPatchSharesUntouchedColumns checks the splice actually reuses the base
+// slices (the memory and time win the propagation cone exists for).
+func TestPatchSharesUntouchedColumns(t *testing.T) {
+	a := sparse.Grid2D(16, 16, false, sparse.GenOptions{Seed: 2})
+	p := sparse.PatternOf(a)
+	old := Factorize(p)
+	pert := sparse.PerturbPattern(a, 2, 0, 3)
+	st, stats := Patch(old, p, sparse.PatternOf(pert), 1.0)
+	if st == nil {
+		t.Fatalf("patch refused: %+v", stats)
+	}
+	if stats.Reused == 0 {
+		t.Fatal("a 2-entry diff should reuse most columns")
+	}
+	shared := 0
+	for k := 0; k < st.N; k++ {
+		if len(st.URows[k]) > 0 && len(old.URows[k]) > 0 && &st.URows[k][0] == &old.URows[k][0] {
+			shared++
+		}
+	}
+	if shared < stats.Reused {
+		t.Fatalf("reused columns %d but only %d share backing arrays", stats.Reused, shared)
+	}
+}

@@ -60,6 +60,87 @@ func (s *Static) ElementOps() int64 {
 	return ops
 }
 
+// group is one "super-row" of the row-merge forest: a set of rows proven
+// identical in structure for the remaining columns. The sequential,
+// parallel-subtree and incremental drivers all move the same groups through
+// the same merge step, which is what makes their outputs byte-identical.
+type group struct {
+	cols []int32 // remaining structure, sorted, all >= current step
+	rows []int32 // alive member rows (candidate pivots), sorted
+}
+
+// rowGroup builds the initial merge group of row i of a.
+func rowGroup(a *sparse.Pattern, i int) *group {
+	row := a.Row(i)
+	if len(row) == 0 {
+		panic("symbolic: empty row")
+	}
+	cols := make([]int32, len(row))
+	for p, c := range row {
+		cols[p] = int32(c)
+	}
+	return &group{cols: cols, rows: []int32{int32(i)}}
+}
+
+// mergeState carries the reusable scratch buffers of one merge run.
+type mergeState struct {
+	scratch  []int32
+	rscratch []int32
+}
+
+// step performs the merge at column k over the participant groups, writing
+// the column's U-row and L-column into st and returning the surviving merged
+// group (nil when the pivot row was the sole candidate). The unions are
+// sort-and-dedup, so the output is independent of the order the participants
+// arrive in — the property every parallel and incremental driver relies on.
+func (ms *mergeState) step(k int, parts []*group, st *Static) *group {
+	if len(parts) == 0 {
+		panic("symbolic: no candidate rows at step; diagonal not zero-free?")
+	}
+	// Union the participants' structures and candidate-row sets. The
+	// candidate rows at step k are exactly the rows that may hold an
+	// L multiplier in column k (any of them could have been left
+	// below the diagonal by the row interchanges).
+	scratch := ms.scratch[:0]
+	rscratch := ms.rscratch[:0]
+	for _, g := range parts {
+		scratch = append(scratch, g.cols...)
+		rscratch = append(rscratch, g.rows...)
+	}
+	sort.Slice(scratch, func(i, j int) bool { return scratch[i] < scratch[j] })
+	merged := make([]int32, 0, len(scratch))
+	for i, c := range scratch {
+		if i == 0 || c != scratch[i-1] {
+			merged = append(merged, c)
+		}
+	}
+	if merged[0] != int32(k) {
+		panic("symbolic: candidate structure does not start at step column")
+	}
+	st.URows[k] = merged
+	// Member-row sets of distinct groups are disjoint; sort and drop
+	// the retiring row k (a candidate by the zero-free diagonal).
+	sort.Slice(rscratch, func(i, j int) bool { return rscratch[i] < rscratch[j] })
+	if len(rscratch) == 0 || rscratch[0] != int32(k) {
+		panic("symbolic: row k is not a candidate at step k")
+	}
+	alive := make([]int32, len(rscratch)-1)
+	copy(alive, rscratch[1:])
+	st.LCols[k] = alive
+	ms.scratch, ms.rscratch = scratch, rscratch
+	// The merged structure propagates only through rows that remain
+	// candidates; when the pivot was the sole candidate its remaining
+	// U entries are frozen into row k and nothing flows on.
+	if len(alive) == 0 {
+		return nil
+	}
+	rest := merged[1:]
+	if len(rest) == 0 {
+		panic("symbolic: alive candidate rows with empty structure")
+	}
+	return &group{cols: rest, rows: alive}
+}
+
 // Factorize runs the static symbolic factorization on the pattern of a,
 // which must be square with a structurally zero-free diagonal (apply
 // ordering.MaxTransversal first when needed).
@@ -71,74 +152,24 @@ func (s *Static) ElementOps() int64 {
 // consumed by exactly one merge, so the total work is O(nnz(L+U) log) — this
 // is the efficient formulation the paper credits to Kai Shen's
 // implementation.
+//
+// FactorizeWorkers runs the same computation on a worker pool with a
+// byte-identical result.
 func Factorize(a *sparse.Pattern) *Static {
 	n := a.N
-	type group struct {
-		cols []int32 // remaining structure, sorted, all >= current step
-		rows []int32 // alive member rows (candidate pivots), sorted
-	}
 	// bucket[c] holds the groups whose minimum column is c.
 	bucket := make([][]*group, n)
 	for i := 0; i < n; i++ {
-		row := a.Row(i)
-		cols := make([]int32, len(row))
-		for p, c := range row {
-			cols[p] = int32(c)
-		}
-		if len(cols) == 0 {
-			panic("symbolic: empty row")
-		}
-		g := &group{cols: cols, rows: []int32{int32(i)}}
-		bucket[cols[0]] = append(bucket[cols[0]], g)
+		g := rowGroup(a, i)
+		bucket[g.cols[0]] = append(bucket[g.cols[0]], g)
 	}
 	st := &Static{N: n, URows: make([][]int32, n), LCols: make([][]int32, n)}
-	var scratch, rscratch []int32
+	var ms mergeState
 	for k := 0; k < n; k++ {
 		parts := bucket[k]
 		bucket[k] = nil
-		if len(parts) == 0 {
-			panic("symbolic: no candidate rows at step; diagonal not zero-free?")
-		}
-		// Union the participants' structures and candidate-row sets. The
-		// candidate rows at step k are exactly the rows that may hold an
-		// L multiplier in column k (any of them could have been left
-		// below the diagonal by the row interchanges).
-		scratch = scratch[:0]
-		rscratch = rscratch[:0]
-		for _, g := range parts {
-			scratch = append(scratch, g.cols...)
-			rscratch = append(rscratch, g.rows...)
-		}
-		sort.Slice(scratch, func(i, j int) bool { return scratch[i] < scratch[j] })
-		merged := make([]int32, 0, len(scratch))
-		for i, c := range scratch {
-			if i == 0 || c != scratch[i-1] {
-				merged = append(merged, c)
-			}
-		}
-		if merged[0] != int32(k) {
-			panic("symbolic: candidate structure does not start at step column")
-		}
-		st.URows[k] = merged
-		// Member-row sets of distinct groups are disjoint; sort and drop
-		// the retiring row k (a candidate by the zero-free diagonal).
-		sort.Slice(rscratch, func(i, j int) bool { return rscratch[i] < rscratch[j] })
-		if len(rscratch) == 0 || rscratch[0] != int32(k) {
-			panic("symbolic: row k is not a candidate at step k")
-		}
-		alive := make([]int32, len(rscratch)-1)
-		copy(alive, rscratch[1:])
-		st.LCols[k] = alive
-		// The merged structure propagates only through rows that remain
-		// candidates; when the pivot was the sole candidate its remaining
-		// U entries are frozen into row k and nothing flows on.
-		rest := merged[1:]
-		if len(alive) > 0 {
-			if len(rest) == 0 {
-				panic("symbolic: alive candidate rows with empty structure")
-			}
-			g := &group{cols: rest, rows: alive}
-			bucket[rest[0]] = append(bucket[rest[0]], g)
+		if g := ms.step(k, parts, st); g != nil {
+			bucket[g.cols[0]] = append(bucket[g.cols[0]], g)
 		}
 	}
 	return st

@@ -21,6 +21,16 @@ const (
 	PhaseFactor = obs.PhaseFactor
 	// PhaseSolve is the triangular-solve pair of one Solve call.
 	PhaseSolve = obs.PhaseSolve
+
+	// Sub-phases of the partition stage (strict supernode detection, the
+	// blocking choice, the per-block structure build) and the incremental
+	// re-analysis of Analysis.Patch. Reported in addition to the coarse
+	// phases above; per the stability contract, implementations ignore
+	// names they do not know.
+	PhaseDetect = obs.PhaseDetect
+	PhaseChoose = obs.PhaseChoose
+	PhaseBuild  = obs.PhaseBuild
+	PhasePatch  = obs.PhasePatch
 )
 
 // Task kinds of TaskEvent.Kind, in the paper's notation.

@@ -16,7 +16,7 @@ fi
 go vet ./...
 go build ./...
 go test ./...
-go test -race . ./internal/machine ./internal/core ./internal/xblas ./internal/server ./internal/obs ./client ./internal/chaos ./internal/cluster
+go test -race . ./internal/machine ./internal/core ./internal/xblas ./internal/server ./internal/obs ./client ./internal/chaos ./internal/cluster ./internal/symbolic ./internal/supernode
 
 # Chaos suite: the full client -> fault proxy -> server stack with a
 # mid-workload server kill/restart; every completed solve must be

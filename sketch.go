@@ -1,0 +1,77 @@
+package sstar
+
+import "sstar/internal/sparse"
+
+// sketchLanes is the minhash width of a PatternSketch. 24 lanes put the
+// Jaccard estimator's standard error around 1/sqrt(24) ≈ 0.2 — coarse, but
+// the sketch only has to rank candidates; Analysis.Patch then measures the
+// exact diff and falls back on its own.
+const sketchLanes = 24
+
+// PatternSketch is a compact minhash fingerprint of a nonzero pattern, built
+// for the solver service's near-miss cache lookup: two sketches estimate the
+// Jaccard similarity of their entry sets in O(sketchLanes) without touching
+// either pattern. A pure function of the pattern (values excluded), so equal
+// patterns always sketch identically.
+type PatternSketch struct {
+	N     int
+	Lanes [sketchLanes]uint64
+}
+
+// SketchOf fingerprints the nonzero pattern of a.
+func SketchOf(a *Matrix) PatternSketch { return sketchPattern(sparse.PatternOf(a)) }
+
+func sketchPattern(p *sparse.Pattern) PatternSketch {
+	s := PatternSketch{N: p.N}
+	for l := range s.Lanes {
+		s.Lanes[l] = ^uint64(0)
+	}
+	for i := 0; i < p.N; i++ {
+		for _, j := range p.Row(i) {
+			e := mix64(uint64(i)<<32 | uint64(j))
+			for l := range s.Lanes {
+				if h := mix64(e + laneSalt*uint64(l+1)); h < s.Lanes[l] {
+					s.Lanes[l] = h
+				}
+			}
+		}
+	}
+	return s
+}
+
+// laneSalt decorrelates the minhash lanes; any odd constant with good bit
+// dispersion works (this is splitmix64's increment).
+const laneSalt = 0x9e3779b97f4a7c15
+
+// mix64 is the splitmix64 finalizer — a cheap 64-bit bijection with full
+// avalanche, which is all a minhash needs.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Similarity estimates the Jaccard similarity of the two underlying entry
+// sets (matching-lane fraction), or 0 when the orders differ — patterns of
+// different order are never patch candidates.
+func (s PatternSketch) Similarity(t PatternSketch) float64 {
+	if s.N != t.N {
+		return 0
+	}
+	match := 0
+	for l := range s.Lanes {
+		if s.Lanes[l] == t.Lanes[l] {
+			match++
+		}
+	}
+	return float64(match) / float64(sketchLanes)
+}
+
+// Sketch returns the pattern sketch of the analyzed structure.
+func (an *Analysis) Sketch() PatternSketch {
+	an.sketchOnce.Do(func() { an.sketch = sketchPattern(an.pat) })
+	return an.sketch
+}

@@ -69,11 +69,20 @@ type Options struct {
 	PivotThreshold float64
 	// HostWorkers sets the goroutine count of the numeric factor phase:
 	// values above 1 execute the Factor/Update task DAG on that many
-	// shared-memory workers, 0 or 1 keep the sequential driver. The
-	// factors are bit-identical either way, so HostWorkers never changes
-	// results — only wall-clock — and it is deliberately excluded from
-	// StructureKey.
+	// shared-memory workers, 0 or 1 keep the sequential driver. The same
+	// count bounds the analyze phase's parallel stages (symbolic fill,
+	// partition build). Factors and analyses are bit-identical either way,
+	// so HostWorkers never changes results — only wall-clock — and it is
+	// deliberately excluded from StructureKey.
 	HostWorkers int
+	// PatchMaxDiff bounds the incremental re-analysis of Analysis.Patch: the
+	// symmetric difference between the cached and the new pattern, as a
+	// fraction of the new pattern's nonzeros, above which Patch falls back
+	// to a full analyze. 0 selects DefaultPatchMaxDiff; a negative value
+	// disables the incremental path entirely. Purely a cost/latency knob —
+	// the patched analysis is byte-identical to a pinned-ordering recompute
+	// either way — so it is excluded from StructureKey.
+	PatchMaxDiff float64
 	// Observer, when non-nil, receives the pipeline's phase timings and
 	// per-task trace events (see the Observer interface for the stability
 	// contract). Purely observational: factors are bit-identical with or
@@ -81,6 +90,12 @@ type Options struct {
 	// protocol — and excluded from StructureKey.
 	Observer Observer
 }
+
+// DefaultPatchMaxDiff is the Analysis.Patch diff budget used when
+// Options.PatchMaxDiff is 0: patterns differing by more than 5% of their
+// entries pay a full analyze (the propagation cone typically stops being a
+// win well before that).
+const DefaultPatchMaxDiff = 0.05
 
 // DefaultOptions selects structure-adaptive blocking: the analyze phase
 // chooses panel boundaries and the amalgamation factor per matrix from the
@@ -95,6 +110,7 @@ func (o Options) analyzeOptions() core.AnalyzeOptions {
 	return core.AnalyzeOptions{
 		SkipOrdering: o.SkipOrdering,
 		Ordering:     o.Ordering,
+		Workers:      o.HostWorkers,
 		Supernode:    supernode.Options{MaxBlock: o.BlockSize, Amalgamate: o.Amalgamate},
 		Obs:          sinkFor(o.Observer),
 	}
