@@ -1,7 +1,7 @@
 GO ?= go
 SERVE_ADDR ?= 127.0.0.1:7071
 
-.PHONY: check tier1 build test race chaos cluster fuzz bench-kernels bench-blocking benchpar bench-analyze serve loadtest trace
+.PHONY: check tier1 build test race chaos cluster fuzz bench-kernels bench-blocking benchpar bench-analyze bench-tenants serve loadtest trace
 
 check: ## gofmt + vet + build + tests + race detector (CI gate)
 	sh scripts/check.sh
@@ -42,6 +42,9 @@ benchpar: ## regenerate the tracked host-parallel factorization speedup report
 
 bench-analyze: ## refresh the cold_analysis section of BENCH_service.json (cold-start churn + seq/par/incremental analyze)
 	$(GO) run ./cmd/sstar-load -cold -nx 100 -clients 4 -duration 10s -out BENCH_service.json
+
+bench-tenants: ## refresh the multi_tenant section of BENCH_service.json (per-tenant solve tails: coalescing off/on, then + a weight-1 factorize storm)
+	$(GO) run ./cmd/sstar-load -tenants 3 -clients 16 -workers 2 -duration 3s -nx 48 -coalesce-window 2ms -out BENCH_service.json
 
 trace: ## record a Chrome trace of a small parallel factorization and validate it
 	$(GO) run ./cmd/sstar-bench -trace trace.json -matrix jpwh991 -scale 0.5 -procs 4

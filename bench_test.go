@@ -1,4 +1,7 @@
-package sstar
+// An external test package (not package sstar): internal/bench imports the
+// sstar facade for the service benches, so an in-package test importing
+// bench would be an import cycle.
+package sstar_test
 
 // One benchmark per table and figure of the paper's evaluation section.
 // Each bench regenerates its artifact end to end (analysis, numeric
@@ -11,6 +14,7 @@ package sstar
 import (
 	"testing"
 
+	"sstar"
 	"sstar/internal/bench"
 )
 
@@ -99,7 +103,7 @@ func BenchmarkAblationMapping(b *testing.B) {
 func BenchmarkFactorizeSeq(b *testing.B) {
 	spec := bench.ByName("sherman5")
 	a := spec.Gen(0.5)
-	f, err := Factorize(a, DefaultOptions())
+	f, err := sstar.Factorize(a, sstar.DefaultOptions())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -115,7 +119,7 @@ func BenchmarkFactorizeSeq(b *testing.B) {
 func BenchmarkSolve(b *testing.B) {
 	spec := bench.ByName("sherman5")
 	a := spec.Gen(0.5)
-	f, err := Factorize(a, DefaultOptions())
+	f, err := sstar.Factorize(a, sstar.DefaultOptions())
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -3,30 +3,41 @@
 // binary protocol on TCP or Unix sockets.
 //
 // A Client is safe for concurrent use; independent requests run over
-// independent pooled connections. The typical flow mirrors the library API:
+// independent pooled connections. Every method takes a context first — its
+// deadline and cancellation propagate into the framed round trip, and the
+// deadline also travels to the server as the request's time budget, so a
+// request whose queue wait would blow the deadline is shed with
+// sstar.ErrOverloaded instead of executing late. The typical flow mirrors
+// the library API:
 //
 //	c, _ := client.Dial("tcp", "127.0.0.1:7071")
-//	h, st, _ := c.Factorize(a, sstar.DefaultOptions())   // st.CacheHit when the server knew the pattern
-//	x, _, _ := h.Solve(b)
-//	_, _ = h.Refactorize(newValues)                      // values-only fast path, same pattern
-//	h.Free()
+//	h, st, _ := c.Factorize(ctx, a, sstar.DefaultOptions())   // st.CacheHit when the server knew the pattern
+//	x, _, _ := h.Solve(ctx, b)
+//	_, _ = h.Refactorize(ctx, newValues)                      // values-only fast path, same pattern
+//	h.Free(ctx)
 //	c.Close()
 //
-// Every method has a context-aware twin (FactorizeCtx, SolveCtx, ...) whose
-// deadline and cancellation propagate into the framed round trip; the plain
-// methods are the twins with context.Background(). Client.Metrics reports
-// the client's own request/error/dial counters.
+// The XCtx spellings (FactorizeCtx, SolveCtx, ...) from the era when the
+// plain names lacked a context remain as deprecated aliases of the canonical
+// methods; see deprecated.go. Client.Metrics reports the client's own
+// request/error/dial counters.
+//
+// Multi-tenant servers attribute work to tenants for fair-share scheduling
+// (see DESIGN.md, "Coalescing & QoS"). Dial with WithTenant to stamp every
+// request, or derive a per-tenant view with ForTenant — the view shares the
+// connection pool and counters with its parent:
+//
+//	c, _ := client.Dial("tcp", addr, client.WithTenant("prod"))
+//	batch := c.ForTenant("batch")   // same pool, different attribution
 //
 // Failures are typed: a server-side error arrives as a *RemoteError whose
 // class matches the root package's sentinels through errors.Is
 // (sstar.ErrSingular, sstar.ErrBadHandle, sstar.ErrOverloaded,
-// sstar.ErrHandleEvicted, sstar.ErrInternal). A context deadline also
-// travels to the server as the request's time budget, so a request whose
-// queue wait would blow the deadline is shed with sstar.ErrOverloaded
-// instead of executing late. WithRetry adds jittered-backoff retries for
-// exactly the failures that are safe to repeat; independent of the policy, a
-// pooled connection that turns out to be dead is evicted and the operation
-// transparently redialed once (idempotent ops only).
+// sstar.ErrHandleEvicted, sstar.ErrInternal). WithRetry adds
+// jittered-backoff retries for exactly the failures that are safe to repeat;
+// independent of the policy, a pooled connection that turns out to be dead is
+// evicted and the operation transparently redialed once (idempotent ops
+// only).
 package client
 
 import (
@@ -42,7 +53,8 @@ import (
 )
 
 // RequestStats is the server's per-request cost split (queue wait,
-// analyze/factor/solve nanoseconds, analysis-cache hit flag).
+// analyze/factor/solve nanoseconds, analysis-cache hit flag, and — for
+// coalesced solves — the batch width the request rode in).
 type RequestStats = server.RequestStats
 
 // ServerStats is a snapshot of the server's counters.
@@ -65,6 +77,12 @@ func WithMaxFrame(n int) Option { return func(c *Client) { c.maxFrame = n } }
 // retries are disabled and every failure surfaces immediately.
 func WithRetry(p RetryPolicy) Option { return func(c *Client) { c.retry = p.withDefaults() } }
 
+// WithTenant stamps every request from this client with the tenant name, the
+// unit of the server's fair-share scheduling and per-tenant metrics. An
+// empty tenant (the default) is admitted under the server's default tenant.
+// Old servers ignore the field.
+func WithTenant(tenant string) Option { return func(c *Client) { c.tenant = tenant } }
+
 // Client is a connection-pooling client of one solver service — a single
 // server, a cluster shard, or a cluster router; the protocol is identical.
 // Connections are pooled per address because a cluster answer can redirect
@@ -77,7 +95,17 @@ type Client struct {
 	maxFrame      int
 	dialTimeout   time.Duration
 	retry         RetryPolicy
+	tenant        string
 
+	// shared is the pool and counter state every tenant-derived view of this
+	// client (ForTenant) has in common; the view copies the config fields
+	// above and aliases this.
+	*shared
+}
+
+// shared is the state common to a Client and all its ForTenant views: the
+// per-address connection pool and the client metrics.
+type shared struct {
 	mu     sync.Mutex
 	idle   map[string][]net.Conn // per target address
 	closed bool
@@ -96,7 +124,7 @@ func Dial(network, addr string, opts ...Option) (*Client, error) {
 		maxIdle:     4,
 		maxFrame:    wire.DefaultMaxPayload,
 		dialTimeout: 5 * time.Second,
-		idle:        make(map[string][]net.Conn),
+		shared:      &shared{idle: make(map[string][]net.Conn)},
 	}
 	for _, o := range opts {
 		o(c)
@@ -107,6 +135,17 @@ func Dial(network, addr string, opts ...Option) (*Client, error) {
 	}
 	c.put(addr, conn)
 	return c, nil
+}
+
+// ForTenant returns a view of the client that stamps tenant on every request
+// it issues. The view shares the connection pool, the metrics counters, and
+// the retry policy with its parent; only the attribution differs. Closing
+// either closes the shared pool. Handles keep the tenant of the view that
+// factorized them.
+func (c *Client) ForTenant(tenant string) *Client {
+	view := *c
+	view.tenant = tenant
+	return &view
 }
 
 // dial opens and handshakes a fresh connection to addr (the primary, or a
@@ -168,8 +207,9 @@ func (c *Client) put(addr string, conn net.Conn) {
 	conn.Close()
 }
 
-// Close releases every pooled connection. In-flight requests on checked-out
-// connections finish; their connections are then closed on return.
+// Close releases every pooled connection, including those of ForTenant views
+// (the pool is shared). In-flight requests on checked-out connections
+// finish; their connections are then closed on return.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	c.closed = true
@@ -184,18 +224,39 @@ func (c *Client) Close() error {
 	return nil
 }
 
-// roundTrip sends one request and reads one response over a pooled
-// connection, without a deadline. Any transport error poisons the
-// connection (it is dropped, not pooled); a fresh request will dial anew.
-func (c *Client) roundTrip(req *server.Request) (*server.Response, error) {
-	return c.roundTripCtx(context.Background(), req)
+// Ping checks liveness end to end.
+func (c *Client) Ping(ctx context.Context) error {
+	_, err := c.roundTrip(ctx, &server.Request{Op: server.OpPing})
+	return err
 }
 
-// Ping checks liveness end to end.
-func (c *Client) Ping() error { return c.PingCtx(context.Background()) }
-
 // Stats fetches a snapshot of the server's counters.
-func (c *Client) Stats() (ServerStats, error) { return c.StatsCtx(context.Background()) }
+func (c *Client) Stats(ctx context.Context) (ServerStats, error) {
+	resp, err := c.roundTrip(ctx, &server.Request{Op: server.OpStats})
+	if err != nil {
+		return ServerStats{}, err
+	}
+	return resp.Server, nil
+}
+
+// Factorize submits a for analysis + factorization and returns a handle to
+// the server-side factors; the context's deadline covers the matrix
+// transfer, the server-side queue wait and factorization, and the response.
+// The analysis is served from the server's structure-keyed cache when a
+// matrix with this pattern (and options) has been seen before —
+// stats.CacheHit reports which way it went. Options.Observer is a
+// local-process hook and is stripped before the options go on the wire (the
+// server runs its own instrumentation).
+func (c *Client) Factorize(ctx context.Context, a *sstar.Matrix, o sstar.Options) (*Handle, RequestStats, error) {
+	o.Observer = nil
+	resp, err := c.roundTrip(ctx, &server.Request{Op: server.OpFactorize, Matrix: a, Opts: o})
+	if err != nil {
+		return nil, RequestStats{}, err
+	}
+	// resp.Addr/resp.Key are only stamped by cluster shards; against a
+	// single server they stay zero and the handle behaves as before.
+	return &Handle{c: c, id: resp.Handle, n: resp.N, nnz: resp.Nnz, key: resp.Key, addr: resp.Addr}, resp.Stats, nil
+}
 
 // Handle is a live factorization on the server.
 type Handle struct {
@@ -214,12 +275,15 @@ type Handle struct {
 	addr string
 }
 
-// Factorize submits a for analysis + factorization and returns a handle to
-// the server-side factors. The analysis is served from the server's
-// structure-keyed cache when a matrix with this pattern (and options) has
-// been seen before — stats.CacheHit reports which way it went.
-func (c *Client) Factorize(a *sstar.Matrix, o sstar.Options) (*Handle, RequestStats, error) {
-	return c.FactorizeCtx(context.Background(), a, o)
+// ForTenant returns a view of the handle whose operations are attributed to
+// tenant — the per-call counterpart of Client.ForTenant. The view targets the
+// same server-side factors, so solves issued through different tenant views
+// of one handle still coalesce into shared batches; only the accounting and
+// fair-share scheduling differ.
+func (h *Handle) ForTenant(tenant string) *Handle {
+	view := *h
+	view.c = h.c.ForTenant(tenant)
+	return &view
 }
 
 // ID returns the server-side handle id.
@@ -236,33 +300,55 @@ func (h *Handle) Nnz() int { return h.nnz }
 // (0 when the server predates cluster support).
 func (h *Handle) Key() uint64 { return h.key }
 
-// Solve solves A x = b with the handle's current factors.
-func (h *Handle) Solve(b []float64) ([]float64, RequestStats, error) {
-	return h.SolveCtx(context.Background(), b)
+// Solve solves A x = b with the handle's current factors. Concurrent Solve
+// calls against the same handle may be coalesced server-side into one
+// batched solve — bitwise identical to solving alone; stats.BatchWidth
+// reports the width the request rode in.
+func (h *Handle) Solve(ctx context.Context, b []float64) ([]float64, RequestStats, error) {
+	resp, _, err := h.c.roundTripAt(ctx, &server.Request{Op: server.OpSolve, Handle: h.id, Key: h.key, B: b}, h.addr)
+	if err != nil {
+		return nil, RequestStats{}, err
+	}
+	return resp.X, resp.Stats, nil
 }
 
 // SolveMany solves NRHS right-hand sides stored column-major in b
 // (len(b) = N*nrhs) through the server's blocked BLAS-3 panel path; the
 // solutions come back in the same layout. Against a cluster router, wide
 // panels are scattered across the shards holding replicas of the factors.
-func (h *Handle) SolveMany(b []float64, nrhs int) ([]float64, RequestStats, error) {
-	return h.SolveManyCtx(context.Background(), b, nrhs)
+func (h *Handle) SolveMany(ctx context.Context, b []float64, nrhs int) ([]float64, RequestStats, error) {
+	resp, _, err := h.c.roundTripAt(ctx, &server.Request{Op: server.OpSolveMany, Handle: h.id, Key: h.key, B: b, NRHS: nrhs}, h.addr)
+	if err != nil {
+		return nil, RequestStats{}, err
+	}
+	return resp.X, resp.Stats, nil
 }
 
 // Refactorize replaces the handle's factors with a factorization of the same
 // pattern carrying new values — the fast path: no structure is re-sent, no
 // analysis is re-run. values must list the new entries in the same CSR order
 // as the originally submitted matrix (length Nnz).
-func (h *Handle) Refactorize(values []float64) (RequestStats, error) {
-	return h.RefactorizeCtx(context.Background(), values)
+func (h *Handle) Refactorize(ctx context.Context, values []float64) (RequestStats, error) {
+	resp, _, err := h.c.roundTripAt(ctx, &server.Request{Op: server.OpRefactorize, Handle: h.id, Key: h.key, Values: values}, h.addr)
+	if err != nil {
+		return RequestStats{}, err
+	}
+	return resp.Stats, nil
 }
 
 // RefactorizeMatrix is the full-matrix form of Refactorize for callers that
 // hold a CSR anyway; the server rejects a pattern differing from the
 // handle's.
-func (h *Handle) RefactorizeMatrix(a *sstar.Matrix) (RequestStats, error) {
-	return h.RefactorizeMatrixCtx(context.Background(), a)
+func (h *Handle) RefactorizeMatrix(ctx context.Context, a *sstar.Matrix) (RequestStats, error) {
+	resp, _, err := h.c.roundTripAt(ctx, &server.Request{Op: server.OpRefactorize, Handle: h.id, Key: h.key, Matrix: a}, h.addr)
+	if err != nil {
+		return RequestStats{}, err
+	}
+	return resp.Stats, nil
 }
 
 // Free releases the server-side factorization.
-func (h *Handle) Free() error { return h.FreeCtx(context.Background()) }
+func (h *Handle) Free(ctx context.Context) error {
+	_, _, err := h.c.roundTripAt(ctx, &server.Request{Op: server.OpFree, Handle: h.id, Key: h.key}, h.addr)
+	return err
+}

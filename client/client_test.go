@@ -1,6 +1,7 @@
 package client_test
 
 import (
+	"context"
 	"net"
 	"testing"
 
@@ -43,7 +44,7 @@ func TestConnectionReuseAndErrorRecovery(t *testing.T) {
 	defer c.Close()
 
 	a := sstar.GenGrid2D(7, 7, false, sstar.GenOptions{Seed: 4})
-	h, _, err := c.Factorize(a, sstar.DefaultOptions())
+	h, _, err := c.Factorize(context.Background(), a, sstar.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestConnectionReuseAndErrorRecovery(t *testing.T) {
 	b := make([]float64, a.N)
 	b[0] = 1
 	for i := 0; i < 20; i++ {
-		x, _, err := h.Solve(b)
+		x, _, err := h.Solve(context.Background(), b)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -63,25 +64,25 @@ func TestConnectionReuseAndErrorRecovery(t *testing.T) {
 		}
 	}
 	// An in-band server error must not poison the client.
-	if _, _, err := h.Solve(make([]float64, 3)); err == nil {
+	if _, _, err := h.Solve(context.Background(), make([]float64, 3)); err == nil {
 		t.Fatal("short rhs accepted")
 	}
-	if err := c.Ping(); err != nil {
+	if err := c.Ping(context.Background()); err != nil {
 		t.Fatalf("client broken after server-side error: %v", err)
 	}
-	if _, _, err := h.Solve(b); err != nil {
+	if _, _, err := h.Solve(context.Background(), b); err != nil {
 		t.Fatal(err)
 	}
-	if err := h.Free(); err != nil {
+	if err := h.Free(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := h.Solve(b); err == nil {
+	if _, _, err := h.Solve(context.Background(), b); err == nil {
 		t.Fatal("solve on freed handle succeeded")
 	}
 
 	// Close, then further calls fail cleanly.
 	c.Close()
-	if err := c.Ping(); err == nil {
+	if err := c.Ping(context.Background()); err == nil {
 		t.Fatal("ping on closed client succeeded")
 	}
 }

@@ -71,8 +71,8 @@ func (c *Client) Metrics() Metrics {
 // typed instead of looping.
 const maxRedirectFollows = 8
 
-// roundTripCtx runs one logical call against the primary address.
-func (c *Client) roundTripCtx(ctx context.Context, req *server.Request) (*server.Response, error) {
+// roundTrip runs one logical call against the primary address.
+func (c *Client) roundTrip(ctx context.Context, req *server.Request) (*server.Response, error) {
 	resp, _, err := c.roundTripAt(ctx, req, "")
 	return resp, err
 }
@@ -92,6 +92,9 @@ func (c *Client) roundTripCtx(ctx context.Context, req *server.Request) (*server
 // that has since died falls back to the router (or a redirect) instead of
 // hammering the corpse. answeredAt is the address that finally answered.
 func (c *Client) roundTripAt(ctx context.Context, req *server.Request, preferred string) (resp *server.Response, answeredAt string, err error) {
+	if c.tenant != "" {
+		req.Tenant = c.tenant
+	}
 	c.met.requests.Add(1)
 	start := time.Now()
 	target := preferred
@@ -218,76 +221,4 @@ func (c *Client) attempt(ctx context.Context, req *server.Request, addr string) 
 		c.put(addr, conn)
 	}
 	return resp, resp.Error(), false
-}
-
-// PingCtx is Ping bounded by ctx.
-func (c *Client) PingCtx(ctx context.Context) error {
-	_, err := c.roundTripCtx(ctx, &server.Request{Op: server.OpPing})
-	return err
-}
-
-// StatsCtx is Stats bounded by ctx.
-func (c *Client) StatsCtx(ctx context.Context) (ServerStats, error) {
-	resp, err := c.roundTripCtx(ctx, &server.Request{Op: server.OpStats})
-	if err != nil {
-		return ServerStats{}, err
-	}
-	return resp.Server, nil
-}
-
-// FactorizeCtx is Factorize bounded by ctx: the deadline covers the matrix
-// transfer, the server-side queue wait and factorization, and the response.
-// Options.Observer is a local-process hook and is stripped before the
-// options go on the wire (the server runs its own instrumentation).
-func (c *Client) FactorizeCtx(ctx context.Context, a *sstar.Matrix, o sstar.Options) (*Handle, RequestStats, error) {
-	o.Observer = nil
-	resp, err := c.roundTripCtx(ctx, &server.Request{Op: server.OpFactorize, Matrix: a, Opts: o})
-	if err != nil {
-		return nil, RequestStats{}, err
-	}
-	// resp.Addr/resp.Key are only stamped by cluster shards; against a
-	// single server they stay zero and the handle behaves as before.
-	return &Handle{c: c, id: resp.Handle, n: resp.N, nnz: resp.Nnz, key: resp.Key, addr: resp.Addr}, resp.Stats, nil
-}
-
-// SolveCtx is Solve bounded by ctx.
-func (h *Handle) SolveCtx(ctx context.Context, b []float64) ([]float64, RequestStats, error) {
-	resp, _, err := h.c.roundTripAt(ctx, &server.Request{Op: server.OpSolve, Handle: h.id, Key: h.key, B: b}, h.addr)
-	if err != nil {
-		return nil, RequestStats{}, err
-	}
-	return resp.X, resp.Stats, nil
-}
-
-// SolveManyCtx is SolveMany bounded by ctx.
-func (h *Handle) SolveManyCtx(ctx context.Context, b []float64, nrhs int) ([]float64, RequestStats, error) {
-	resp, _, err := h.c.roundTripAt(ctx, &server.Request{Op: server.OpSolveMany, Handle: h.id, Key: h.key, B: b, NRHS: nrhs}, h.addr)
-	if err != nil {
-		return nil, RequestStats{}, err
-	}
-	return resp.X, resp.Stats, nil
-}
-
-// RefactorizeCtx is Refactorize bounded by ctx.
-func (h *Handle) RefactorizeCtx(ctx context.Context, values []float64) (RequestStats, error) {
-	resp, _, err := h.c.roundTripAt(ctx, &server.Request{Op: server.OpRefactorize, Handle: h.id, Key: h.key, Values: values}, h.addr)
-	if err != nil {
-		return RequestStats{}, err
-	}
-	return resp.Stats, nil
-}
-
-// RefactorizeMatrixCtx is RefactorizeMatrix bounded by ctx.
-func (h *Handle) RefactorizeMatrixCtx(ctx context.Context, a *sstar.Matrix) (RequestStats, error) {
-	resp, _, err := h.c.roundTripAt(ctx, &server.Request{Op: server.OpRefactorize, Handle: h.id, Key: h.key, Matrix: a}, h.addr)
-	if err != nil {
-		return RequestStats{}, err
-	}
-	return resp.Stats, nil
-}
-
-// FreeCtx is Free bounded by ctx.
-func (h *Handle) FreeCtx(ctx context.Context) error {
-	_, _, err := h.c.roundTripAt(ctx, &server.Request{Op: server.OpFree, Handle: h.id, Key: h.key}, h.addr)
-	return err
 }

@@ -195,9 +195,9 @@ func TestCtxObserverStrippedBeforeWire(t *testing.T) {
 	o := sstar.DefaultOptions()
 	o.Observer = sstar.NewTrace(0)
 	a := sstar.GenGrid2D(6, 6, false, sstar.GenOptions{Seed: 22})
-	h, _, err := c.Factorize(a, o)
+	h, _, err := c.Factorize(context.Background(), a, o)
 	if err != nil {
 		t.Fatalf("factorize with local observer failed: %v", err)
 	}
-	h.Free()
+	h.Free(context.Background())
 }

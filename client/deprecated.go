@@ -1,0 +1,62 @@
+package client
+
+import (
+	"context"
+
+	"sstar"
+)
+
+// The XCtx method names date from when the plain names took no context; the
+// context-first forms are now canonical (see client.go). Each alias below is
+// a one-line delegation kept so existing callers compile unchanged. New code
+// should call the canonical method.
+
+// PingCtx is a deprecated alias of Ping.
+//
+// Deprecated: use Ping.
+func (c *Client) PingCtx(ctx context.Context) error { return c.Ping(ctx) }
+
+// StatsCtx is a deprecated alias of Stats.
+//
+// Deprecated: use Stats.
+func (c *Client) StatsCtx(ctx context.Context) (ServerStats, error) { return c.Stats(ctx) }
+
+// FactorizeCtx is a deprecated alias of Factorize.
+//
+// Deprecated: use Factorize.
+func (c *Client) FactorizeCtx(ctx context.Context, a *sstar.Matrix, o sstar.Options) (*Handle, RequestStats, error) {
+	return c.Factorize(ctx, a, o)
+}
+
+// SolveCtx is a deprecated alias of Solve.
+//
+// Deprecated: use Solve.
+func (h *Handle) SolveCtx(ctx context.Context, b []float64) ([]float64, RequestStats, error) {
+	return h.Solve(ctx, b)
+}
+
+// SolveManyCtx is a deprecated alias of SolveMany.
+//
+// Deprecated: use SolveMany.
+func (h *Handle) SolveManyCtx(ctx context.Context, b []float64, nrhs int) ([]float64, RequestStats, error) {
+	return h.SolveMany(ctx, b, nrhs)
+}
+
+// RefactorizeCtx is a deprecated alias of Refactorize.
+//
+// Deprecated: use Refactorize.
+func (h *Handle) RefactorizeCtx(ctx context.Context, values []float64) (RequestStats, error) {
+	return h.Refactorize(ctx, values)
+}
+
+// RefactorizeMatrixCtx is a deprecated alias of RefactorizeMatrix.
+//
+// Deprecated: use RefactorizeMatrix.
+func (h *Handle) RefactorizeMatrixCtx(ctx context.Context, a *sstar.Matrix) (RequestStats, error) {
+	return h.RefactorizeMatrix(ctx, a)
+}
+
+// FreeCtx is a deprecated alias of Free.
+//
+// Deprecated: use Free.
+func (h *Handle) FreeCtx(ctx context.Context) error { return h.Free(ctx) }

@@ -1,6 +1,7 @@
 package client_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -29,7 +30,7 @@ func TestSingularTypedThroughClient(t *testing.T) {
 		ColInd: []int{0, 1, 0, 1},
 		Val:    []float64{1, 1, 1, 1}, // rank 1
 	}
-	h, _, ferr := c.Factorize(sing, sstar.DefaultOptions())
+	h, _, ferr := c.Factorize(context.Background(), sing, sstar.DefaultOptions())
 	if ferr == nil {
 		t.Fatal("singular matrix factorized")
 	}
@@ -44,7 +45,7 @@ func TestSingularTypedThroughClient(t *testing.T) {
 		t.Fatalf("error %v is not a RemoteError", ferr)
 	}
 
-	st, err := c.Stats()
+	st, err := c.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,20 +64,20 @@ func TestSingularTypedThroughClient(t *testing.T) {
 
 	// The same client and server still factorize and solve a healthy system.
 	a := sstar.GenGrid2D(6, 6, false, sstar.GenOptions{Seed: 4})
-	good, _, err := c.Factorize(a, sstar.DefaultOptions())
+	good, _, err := c.Factorize(context.Background(), a, sstar.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
 	b := make([]float64, a.N)
 	b[0] = 1
-	x, _, err := good.Solve(b)
+	x, _, err := good.Solve(context.Background(), b)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if r := sstar.Residual(a, x, b); r > 1e-9 {
 		t.Fatalf("residual %g after the singular episode", r)
 	}
-	if err := good.Free(); err != nil {
+	if err := good.Free(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 }

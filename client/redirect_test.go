@@ -7,6 +7,7 @@ package client
 // instead of looping.
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
@@ -55,7 +56,7 @@ func TestRedirectFollowedTransparently(t *testing.T) {
 	}
 	defer c.Close()
 	m := sstar.GenGrid2D(2, 2, false, sstar.GenOptions{Seed: 1})
-	h, _, err := c.Factorize(m, sstar.DefaultOptions())
+	h, _, err := c.Factorize(context.Background(), m, sstar.DefaultOptions())
 	if err != nil {
 		t.Fatalf("redirected factorize surfaced an error: %v", err)
 	}
@@ -65,7 +66,7 @@ func TestRedirectFollowedTransparently(t *testing.T) {
 	if got := c.Metrics().Redirects; got != 1 {
 		t.Errorf("Metrics().Redirects = %d, want 1", got)
 	}
-	if _, _, err := h.Solve([]float64{4, 5, 6}); err != nil {
+	if _, _, err := h.Solve(context.Background(), []float64{4, 5, 6}); err != nil {
 		t.Fatal(err)
 	}
 	if got := aReqs.Load(); got != 1 {
@@ -102,7 +103,7 @@ func TestRedirectPingPongBounded(t *testing.T) {
 	}
 	defer c.Close()
 	m := sstar.GenGrid2D(2, 2, false, sstar.GenOptions{Seed: 2})
-	_, _, err = c.Factorize(m, sstar.DefaultOptions())
+	_, _, err = c.Factorize(context.Background(), m, sstar.DefaultOptions())
 	if !errors.Is(err, sstar.ErrRedirect) {
 		t.Fatalf("err = %v, want ErrRedirect after bounded hops", err)
 	}
@@ -126,7 +127,7 @@ func TestRedirectWithoutAddressIsTerminal(t *testing.T) {
 	}
 	defer c.Close()
 	m := sstar.GenGrid2D(2, 2, false, sstar.GenOptions{Seed: 3})
-	_, _, err = c.Factorize(m, sstar.DefaultOptions())
+	_, _, err = c.Factorize(context.Background(), m, sstar.DefaultOptions())
 	if !errors.Is(err, sstar.ErrNotOwner) {
 		t.Fatalf("err = %v, want ErrNotOwner", err)
 	}

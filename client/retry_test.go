@@ -89,7 +89,7 @@ func TestRetryOnShedThenSuccess(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if err := c.Ping(); err != nil {
+	if err := c.Ping(context.Background()); err != nil {
 		t.Fatalf("ping through two sheds: %v", err)
 	}
 	m := c.Metrics()
@@ -112,7 +112,7 @@ func TestNoRetryOnTypedFailure(t *testing.T) {
 	}
 	defer c.Close()
 	a := sstar.GenGrid2D(3, 3, false, sstar.GenOptions{Seed: 1})
-	_, _, ferr := c.Factorize(a, sstar.DefaultOptions())
+	_, _, ferr := c.Factorize(context.Background(), a, sstar.DefaultOptions())
 	if !errors.Is(ferr, sstar.ErrSingular) {
 		t.Fatalf("errors.Is(ErrSingular) false for %v", ferr)
 	}
@@ -146,7 +146,7 @@ func TestStaleConnRedialIdempotent(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if err := c.Ping(); err != nil {
+	if err := c.Ping(context.Background()); err != nil {
 		t.Fatalf("ping over a stale pooled conn not healed: %v", err)
 	}
 	m := c.Metrics()
@@ -176,7 +176,7 @@ func TestStaleConnNoRedialNonIdempotent(t *testing.T) {
 	}
 	defer c.Close()
 	a := sstar.GenGrid2D(3, 3, false, sstar.GenOptions{Seed: 1})
-	_, _, ferr := c.Factorize(a, sstar.DefaultOptions())
+	_, _, ferr := c.Factorize(context.Background(), a, sstar.DefaultOptions())
 	if ferr == nil {
 		t.Fatal("factorize on a stale conn silently repeated")
 	}
@@ -206,7 +206,7 @@ func TestRetryBudgetStopsEarly(t *testing.T) {
 	}
 	defer c.Close()
 	t0 := time.Now()
-	perr := c.Ping()
+	perr := c.Ping(context.Background())
 	if !errors.Is(perr, sstar.ErrOverloaded) {
 		t.Fatalf("err %v, want ErrOverloaded", perr)
 	}

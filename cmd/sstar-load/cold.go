@@ -79,7 +79,7 @@ func runColdBench(clients int, duration time.Duration, nx, cacheSz, workers, fac
 			for time.Now().Before(deadline) {
 				m := variants[zipf.Uint64()]
 				t0 := time.Now()
-				h, st, err := c.FactorizeCtx(context.Background(), m, sstar.DefaultOptions())
+				h, st, err := c.Factorize(context.Background(), m, sstar.DefaultOptions())
 				lat := time.Since(t0)
 				if err != nil {
 					mu.Lock()
@@ -97,7 +97,7 @@ func runColdBench(clients int, duration time.Duration, nx, cacheSz, workers, fac
 				mu.Lock()
 				samples = append(samples, coldSample{latency: lat, class: class})
 				mu.Unlock()
-				h.FreeCtx(context.Background())
+				h.Free(context.Background())
 			}
 		}(ci)
 	}

@@ -12,11 +12,13 @@
 //	sstar-load -patterns 4 -mix 1,3,6            # 4 structures; 10% fact / 30% refac / 60% solve
 //	sstar-load -addr ... -retries 4 -timeout 2s  # through sstar-chaos: retry + per-request deadline
 //	sstar-load -cluster 1,3                      # in-process cluster scaling bench (1 then 3 shards)
+//	sstar-load -tenants 3 -clients 8             # multi-tenant zipfian bench: coalescing + per-tenant QoS tails
 //
 // The report lands in -out (default BENCH_service.json). -cluster runs a
 // solve-heavy workload against an in-process router+shard fleet per listed
 // shard count and merges a "cluster" section into the report, leaving the
-// other sections untouched.
+// other sections untouched; -tenants and -cold merge their own sections the
+// same way.
 package main
 
 import (
@@ -96,6 +98,10 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "per-request deadline (0 = none; set this when the path can stall, e.g. behind sstar-chaos)")
 		clusterN = flag.String("cluster", "", "comma-separated shard counts for the in-process cluster scaling bench (e.g. 1,3); merges a cluster section into -out and exits")
 		cold     = flag.Bool("cold", false, "run the cold-analysis bench: zipfian near-miss structure churn against an in-process server plus a sequential/parallel/incremental analyze comparison; merges a cold_analysis section into -out and exits")
+		tenants  = flag.Int("tenants", 0, "run the multi-tenant bench with this many zipf-skewed solve tenants against an in-process server (coalescing off/on, then a weight-1 factorize storm); merges a multi_tenant section into -out and exits")
+		zipfS    = flag.Float64("zipf", 1.3, "zipf skew across tenants in -tenants mode (> 1; hotter head as it grows)")
+		coalesce = flag.Int("coalesce-width", 32, "max coalesced solve batch width in -tenants mode")
+		window   = flag.Duration("coalesce-window", 0, "batch window a dequeued solve waits for ride-alongs in -tenants mode (0 = opportunistic only; a small window forms real batches even when arrivals serialize, e.g. on one core)")
 		out      = flag.String("out", "BENCH_service.json", "report output path")
 	)
 	flag.Parse()
@@ -106,6 +112,10 @@ func main() {
 	}
 	if *cold {
 		runColdBench(*clients, *duration, *nx, *cacheSz, *workers, *factorW, *seed, *out)
+		return
+	}
+	if *tenants > 0 {
+		runTenantBench(*tenants, *clients, *duration, *nx, *coalesce, *window, *workers, *zipfS, *seed, *out)
 		return
 	}
 
@@ -200,7 +210,7 @@ func main() {
 				}
 				if h != nil {
 					ctx, cancel := reqCtx()
-					h.FreeCtx(ctx)
+					h.Free(ctx)
 					cancel()
 				}
 				c.Close()
@@ -218,7 +228,7 @@ func main() {
 				if h == nil {
 					t0 := time.Now()
 					ctx, cancel := reqCtx()
-					hh, st, err := c.FactorizeCtx(ctx, cur, sstar.DefaultOptions())
+					hh, st, err := c.Factorize(ctx, cur, sstar.DefaultOptions())
 					cancel()
 					if err != nil {
 						fail(err)
@@ -231,7 +241,7 @@ func main() {
 				switch pick(rng, weights) {
 				case 0:
 					ctx, cancel := reqCtx()
-					err := h.FreeCtx(ctx)
+					err := h.Free(ctx)
 					cancel()
 					h = nil
 					if err != nil {
@@ -243,7 +253,7 @@ func main() {
 					perturb()
 					t0 := time.Now()
 					ctx, cancel := reqCtx()
-					_, err := h.RefactorizeCtx(ctx, cur.Val)
+					_, err := h.Refactorize(ctx, cur.Val)
 					cancel()
 					if err != nil {
 						fail(err)
@@ -258,7 +268,7 @@ func main() {
 					}
 					t0 := time.Now()
 					ctx, cancel := reqCtx()
-					x, _, err := h.SolveCtx(ctx, b)
+					x, _, err := h.Solve(ctx, b)
 					cancel()
 					if err != nil {
 						fail(err)
@@ -282,7 +292,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("sstar-load: stats dial: %v", err)
 	}
-	st, err := c.Stats()
+	st, err := c.Stats(context.Background())
 	c.Close()
 	if err != nil {
 		log.Fatalf("sstar-load: stats: %v", err)
@@ -442,14 +452,14 @@ func benchFleet(n, clients int, duration time.Duration, patterns, nx int) cluste
 			}
 			defer c.Close()
 			a := bases[ci%len(bases)]
-			h, _, err := c.Factorize(a, sstar.DefaultOptions())
+			h, _, err := c.Factorize(context.Background(), a, sstar.DefaultOptions())
 			if err != nil {
 				mu.Lock()
 				errs++
 				mu.Unlock()
 				return
 			}
-			defer h.Free()
+			defer h.Free(context.Background())
 			var nreq, nerr int64
 			b := make([]float64, a.N)
 			wide := make([]float64, a.N*8)
@@ -459,12 +469,12 @@ func benchFleet(n, clients int, duration time.Duration, patterns, nx int) cluste
 					for i := range wide {
 						wide[i] = 2*rng.Float64() - 1
 					}
-					_, _, err = h.SolveMany(wide, 8)
+					_, _, err = h.SolveMany(context.Background(), wide, 8)
 				} else {
 					for i := range b {
 						b[i] = 2*rng.Float64() - 1
 					}
-					_, _, err = h.Solve(b)
+					_, _, err = h.Solve(context.Background(), b)
 				}
 				nreq++
 				if err != nil {

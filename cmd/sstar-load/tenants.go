@@ -1,0 +1,52 @@
+package main
+
+import (
+	"encoding/json"
+	"log"
+	"os"
+	"time"
+
+	"sstar/internal/bench"
+)
+
+// runTenantBench runs the multi-tenant zipfian bench — per-tenant solve
+// tails with coalescing off/on and under a weight-1 factorize storm — and
+// merges the result into the report at outPath as a "multi_tenant" section
+// (other sections are preserved).
+func runTenantBench(tenants, clients int, duration time.Duration, nx, width int, window time.Duration, workers int, zipfS float64, seed int64, outPath string) {
+	rep, err := bench.RunTenants(bench.TenantOptions{
+		Tenants:  tenants,
+		Clients:  clients,
+		Duration: duration,
+		NX:       nx,
+		Width:    width,
+		Window:   window,
+		Workers:  workers,
+		ZipfS:    zipfS,
+		Seed:     seed,
+	})
+	if err != nil {
+		log.Fatalf("sstar-load: tenant bench: %v", err)
+	}
+
+	doc := map[string]any{}
+	if data, err := os.ReadFile(outPath); err == nil {
+		json.Unmarshal(data, &doc)
+	}
+	doc["multi_tenant"] = rep
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatalf("sstar-load: %v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		log.Fatalf("sstar-load: %v", err)
+	}
+
+	for _, sc := range rep.Scenarios {
+		log.Printf("sstar-load: tenants %-16s %6d solves = %6.0f/s, p50 %.2fms p99 %.2fms, %d batches (mean width %.1f), %d storm factorizes, %d errors",
+			sc.Name, sc.SolveRequests, sc.SolveRPS, sc.P50ms, sc.P99ms, sc.SolveBatches, sc.MeanBatchWidth, sc.StormFactorizes, sc.Errors)
+	}
+	log.Printf("sstar-load: tenants: coalescing gain x%.2f, storm p99 inflation x%.2f -> multi_tenant section merged into %s",
+		rep.CoalescingGainX, rep.StormP99InflationX, outPath)
+}

@@ -35,6 +35,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -43,6 +44,31 @@ import (
 	"sstar/internal/server"
 	"sstar/internal/xblas"
 )
+
+// parseTenantWeights parses "a=3,b=1" into a weight map. Weights must be
+// positive integers; names must be non-empty.
+func parseTenantWeights(s string) (map[string]int, error) {
+	out := make(map[string]int)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad entry %q, want tenant=weight", part)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("bad weight %q for tenant %q, want a positive integer", val, name)
+		}
+		out[name] = w
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no tenant=weight entries in %q", s)
+	}
+	return out, nil
+}
 
 func main() {
 	var (
@@ -57,6 +83,10 @@ func main() {
 		admin    = flag.String("admin", "", "HTTP admin listen address (/metrics, /debug/trace, /debug/pprof); empty disables")
 		autotune = flag.Bool("autotune", true, "measure the xblas kernels at startup and pick the best cache-block tile shape")
 		quiet    = flag.Bool("quiet", false, "suppress per-event logging")
+
+		coalesceWidth  = flag.Int("coalesce-width", 0, "max solves merged into one batched solve; 0 = default (32), 1 disables coalescing")
+		coalesceWindow = flag.Duration("coalesce-window", 0, "extra time a dequeued solve waits for ride-alongs, e.g. 200us (0 = opportunistic only)")
+		tenantWeights  = flag.String("tenant-weights", "", "per-tenant fair-share weights, e.g. prod=4,batch=1 (unlisted tenants get 1)")
 
 		clusterSelf  = flag.String("cluster-self", "", "this shard's advertised address; enables cluster mode")
 		clusterPeers = flag.String("cluster-peers", "", "comma-separated advertised addresses of every shard (including self)")
@@ -75,12 +105,21 @@ func main() {
 	}
 
 	cfg := server.Config{
-		Workers:       *workers,
-		FactorWorkers: *factorW,
-		CacheEntries:  *cache,
-		MemBudget:     *memMB << 20,
-		HandleTTL:     *ttl,
-		DrainTimeout:  *drain,
+		Workers:        *workers,
+		FactorWorkers:  *factorW,
+		CacheEntries:   *cache,
+		MemBudget:      *memMB << 20,
+		HandleTTL:      *ttl,
+		DrainTimeout:   *drain,
+		CoalesceWidth:  *coalesceWidth,
+		CoalesceWindow: *coalesceWindow,
+	}
+	if *tenantWeights != "" {
+		w, err := parseTenantWeights(*tenantWeights)
+		if err != nil {
+			log.Fatalf("sstar-serve: -tenant-weights: %v", err)
+		}
+		cfg.TenantWeights = w
 	}
 	if !*quiet {
 		cfg.Logf = log.Printf

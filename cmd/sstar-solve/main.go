@@ -120,26 +120,18 @@ func main() {
 		return
 	}
 
-	var (
-		fact  *sstar.Factorization
-		stats *sstar.RunStats
-		err   error
-	)
-	start := time.Now()
-	if *mapping == "seq" {
-		fact, err = sstar.Factorize(a, opts)
-	} else {
-		fact, stats, err = sstar.FactorizeParallel(a, sstar.ParOptions{
-			Options: opts,
-			Procs:   *procs,
-			Machine: sstar.MachineName(*mach),
-			Mapping: sstar.Mapping(*mapping),
-			Trace:   *trace != "",
-		})
+	if *mapping != "seq" {
+		opts.Procs = *procs
+		opts.Machine = sstar.MachineName(*mach)
+		opts.Mapping = sstar.Mapping(*mapping)
+		opts.TraceParallel = *trace != ""
 	}
+	start := time.Now()
+	fact, err := sstar.Factorize(a, opts)
 	if err != nil {
 		fatalf("factorization failed: %v", err)
 	}
+	stats := fact.RunStats()
 	wall := time.Since(start)
 	x, err := fact.Solve(b)
 	if err != nil {

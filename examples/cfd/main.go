@@ -30,15 +30,15 @@ func main() {
 		"mapping", "P", "par.time(s)", "MFLOPS", "messages", "bytes", "balance")
 	for _, mapping := range []sstar.Mapping{sstar.Map1DCA, sstar.Map1DRAPID, sstar.Map2DSync, sstar.Map2D} {
 		for _, p := range []int{4, 16, 64} {
-			f, stats, err := sstar.FactorizeParallel(a, sstar.ParOptions{
-				Options: sstar.DefaultOptions(),
-				Procs:   p,
-				Machine: sstar.T3E,
-				Mapping: mapping,
-			})
+			opts := sstar.DefaultOptions()
+			opts.Procs = p
+			opts.Machine = sstar.T3E
+			opts.Mapping = mapping
+			f, err := sstar.Factorize(a, opts)
 			if err != nil {
 				log.Fatalf("%s P=%d: %v", mapping, p, err)
 			}
+			stats := f.RunStats()
 			x, err := f.Solve(b)
 			if err != nil {
 				log.Fatal(err)

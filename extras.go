@@ -25,6 +25,20 @@ func (f *Factorization) SolveMany(b []float64, nrhs int) ([]float64, error) {
 	return f.fact.SolveMany(b, nrhs)
 }
 
+// SolveManyExact solves A X = B for nrhs column-major right-hand sides with a
+// stronger guarantee than SolveMany: every solution column is bitwise
+// identical to what Solve returns for that column alone. It trades the
+// blocked BLAS-3 panel kernels for a lockstep replay of Solve's per-column
+// operation sequence, still amortizing the factor-block memory traffic across
+// the batch. The server's solve coalescer uses it so that merging concurrent
+// single-RHS requests is invisible to clients, bit for bit.
+func (f *Factorization) SolveManyExact(b []float64, nrhs int) ([]float64, error) {
+	if nrhs < 1 {
+		return nil, fmt.Errorf("sstar: SolveManyExact needs nrhs >= 1, got %d", nrhs)
+	}
+	return f.fact.SolveManyExact(b, nrhs)
+}
+
 // RefineResult reports iterative refinement progress.
 type RefineResult = core.RefineResult
 

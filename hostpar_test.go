@@ -46,11 +46,11 @@ func TestFactorizeHostParallelBitIdentical(t *testing.T) {
 	for _, w := range []int{0, 1, 2, 4, 8} {
 		o := DefaultOptions()
 		o.HostWorkers = w
-		par, err := FactorizeHostParallel(a, o)
+		par, err := Factorize(a, o)
 		if err != nil {
 			t.Fatalf("HostWorkers=%d: %v", w, err)
 		}
-		factsBitIdentical(t, "FactorizeHostParallel vs Factorize", seq, par)
+		factsBitIdentical(t, "HostWorkers Factorize vs sequential", seq, par)
 		b := rhs(a.N, int64(82+w))
 		x, err := par.Solve(b)
 		if err != nil {
@@ -69,7 +69,7 @@ func TestRefactorizeKeepsParallelPath(t *testing.T) {
 	a := GenCircuit(200, 3, GenOptions{Seed: 83})
 	o := DefaultOptions()
 	o.HostWorkers = 4
-	par, err := FactorizeHostParallel(a, o)
+	par, err := Factorize(a, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,6 +102,14 @@ func TestStructureKeyIgnoresHostWorkers(t *testing.T) {
 		if k := StructureKey(a, o); k != k0 {
 			t.Fatalf("HostWorkers=%d changed the structure key: %x vs %x", w, k, k0)
 		}
+	}
+	// The virtual-machine routing knobs are execution strategy, not
+	// structure: they never change factors, so they must not fragment
+	// structure-keyed caches either.
+	vm := base
+	vm.Procs, vm.Machine, vm.Mapping, vm.TraceParallel = 4, T3D, Map1DCA, true
+	if k := StructureKey(a, vm); k != k0 {
+		t.Fatalf("Procs/Machine/Mapping changed the structure key: %x vs %x", k, k0)
 	}
 	// Sanity: options that do change results still change the key.
 	o := base

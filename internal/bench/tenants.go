@@ -1,0 +1,327 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"sstar"
+	"sstar/client"
+	"sstar/internal/server"
+)
+
+// TenantOptions configures the multi-tenant tail-latency bench.
+type TenantOptions struct {
+	Tenants  int           // distinct solve tenants; popularity is zipf-skewed
+	Clients  int           // concurrent solve clients (shared across tenants)
+	Duration time.Duration // measured window per scenario
+	NX       int           // grid dimension; matrix order ~ NX*NX
+	Width    int           // coalesce width for the coalesced scenarios
+	Window   time.Duration // coalesce batch window (0 = opportunistic only)
+	Workers  int           // server worker goroutines
+	ZipfS    float64       // zipf skew across tenants (> 1; hotter head as it grows)
+	Seed     int64
+}
+
+func (o *TenantOptions) setDefaults() {
+	if o.Tenants < 1 {
+		o.Tenants = 2
+	}
+	if o.Clients < 1 {
+		o.Clients = 8
+	}
+	if o.Duration <= 0 {
+		o.Duration = 3 * time.Second
+	}
+	if o.NX < 2 {
+		o.NX = 20
+	}
+	if o.Width < 2 {
+		o.Width = 32
+	}
+	if o.Workers < 1 {
+		o.Workers = 4
+	}
+	if o.ZipfS <= 1 {
+		o.ZipfS = 1.3
+	}
+}
+
+// TenantTail is one tenant's solve-latency summary within one scenario.
+type TenantTail struct {
+	Tenant   string  `json:"tenant"`
+	Weight   int     `json:"weight"`
+	Requests int     `json:"requests"`
+	P50ms    float64 `json:"p50_ms"`
+	P99ms    float64 `json:"p99_ms"`
+	MaxMs    float64 `json:"max_ms"`
+}
+
+// TenantScenario is one measured server configuration + traffic shape.
+type TenantScenario struct {
+	Name            string       `json:"name"`
+	SolveRequests   int          `json:"solve_requests"`
+	SolveRPS        float64      `json:"solve_rps"`
+	Errors          int          `json:"errors"`
+	P50ms           float64      `json:"p50_ms"`
+	P99ms           float64      `json:"p99_ms"`
+	SolveBatches    int64        `json:"solve_batches"`
+	CoalescedSolves int64        `json:"coalesced_solves"`
+	MeanBatchWidth  float64      `json:"mean_batch_width"`
+	StormFactorizes int64        `json:"storm_factorizes,omitempty"`
+	Tenants         []TenantTail `json:"tenants"`
+}
+
+// TenantReport is the multi_tenant section of BENCH_service.json: solve tail
+// latency per tenant with and without a competing factorize storm, with
+// coalescing off and on.
+type TenantReport struct {
+	Config struct {
+		Tenants  int     `json:"tenants"`
+		Clients  int     `json:"clients"`
+		Duration string  `json:"duration"`
+		NX       int     `json:"nx"`
+		Order    int     `json:"order"`
+		Width    int     `json:"coalesce_width"`
+		Window   string  `json:"coalesce_window"`
+		Workers  int     `json:"workers"`
+		ZipfS    float64 `json:"zipf_s"`
+	} `json:"config"`
+	Scenarios []TenantScenario `json:"scenarios"`
+	// CoalescingGainX is solo_coalesced solve throughput over
+	// solo_uncoalesced — the payoff of merging concurrent solves into
+	// blocked batches.
+	CoalescingGainX float64 `json:"coalescing_gain_x"`
+	// StormP99InflationX is the aggregate solve p99 under a competing
+	// factorize storm over the storm-free p99 (same coalesced server). The
+	// weighted fair scheduler is what keeps this bounded: the storm tenant
+	// holds weight 1 against the solve tenants' weight 4.
+	StormP99InflationX float64 `json:"storm_p99_inflation_x"`
+	Note               string  `json:"note"`
+}
+
+// RunTenants measures per-tenant solve tails in three scenarios against
+// in-process servers: solve-only with coalescing off, solve-only with
+// coalescing on, and coalescing on with a weight-1 "storm" tenant issuing
+// back-to-back factorizes. It fails if the server's per-tenant counters do
+// not attribute every tenant's traffic — the same check the CI smoke relies
+// on.
+func RunTenants(o TenantOptions) (*TenantReport, error) {
+	o.setDefaults()
+
+	names := make([]string, o.Tenants)
+	weights := map[string]int{"storm": 1}
+	for i := range names {
+		names[i] = fmt.Sprintf("tenant-%d", i)
+		weights[names[i]] = 4
+	}
+	a := sstar.GenGrid2D(o.NX, o.NX, false, sstar.GenOptions{Seed: o.Seed, Convection: 0.2})
+
+	rep := &TenantReport{}
+	rep.Config.Tenants = o.Tenants
+	rep.Config.Clients = o.Clients
+	rep.Config.Duration = o.Duration.String()
+	rep.Config.NX = o.NX
+	rep.Config.Order = a.N
+	rep.Config.Width = o.Width
+	rep.Config.Window = o.Window.String()
+	rep.Config.Workers = o.Workers
+	rep.Config.ZipfS = o.ZipfS
+	rep.Note = "in-process server; storm tenant carries weight 1 vs the solve tenants' weight 4, so its factorize backlog cannot starve solve admission beyond its fair share. On a one-core box the clients, codec and workers serialize upstream of the queue, so opportunistic batches stay narrow and the coalescing gain needs either cores or a batch window to show."
+
+	scenarios := []struct {
+		name   string
+		width  int
+		window time.Duration
+		storm  bool
+	}{
+		{"solo_uncoalesced", 1, 0, false},
+		{"solo_coalesced", o.Width, o.Window, false},
+		{"storm", o.Width, o.Window, true},
+	}
+	for _, sc := range scenarios {
+		run, err := runTenantScenario(o, a, names, weights, sc.name, sc.width, sc.window, sc.storm)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", sc.name, err)
+		}
+		rep.Scenarios = append(rep.Scenarios, run)
+	}
+
+	if solo, coal := rep.Scenarios[0], rep.Scenarios[1]; solo.SolveRPS > 0 {
+		rep.CoalescingGainX = coal.SolveRPS / solo.SolveRPS
+	}
+	if coal, storm := rep.Scenarios[1], rep.Scenarios[2]; coal.P99ms > 0 {
+		rep.StormP99InflationX = storm.P99ms / coal.P99ms
+	}
+	return rep, nil
+}
+
+func runTenantScenario(o TenantOptions, a *sstar.Matrix, names []string, weights map[string]int, name string, width int, window time.Duration, storm bool) (TenantScenario, error) {
+	run := TenantScenario{Name: name}
+
+	s := server.New(server.Config{
+		Workers:        o.Workers,
+		CoalesceWidth:  width,
+		CoalesceWindow: window,
+		TenantWeights:  weights,
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return run, err
+	}
+	go s.Serve(l)
+	defer s.Close()
+
+	ctx := context.Background()
+	// Pool one idle connection per concurrent client: the default pool cap
+	// would force most round trips through a fresh dial + handshake, and the
+	// bench would measure the handshake, not the server.
+	c, err := client.Dial("tcp", l.Addr().String(), client.WithMaxIdle(o.Clients+4))
+	if err != nil {
+		return run, err
+	}
+	defer c.Close()
+	h, _, err := c.Factorize(ctx, a, sstar.DefaultOptions())
+	if err != nil {
+		return run, err
+	}
+
+	// One tenant-stamped view of the shared handle per tenant: all views
+	// target the same server-side factors, so solves coalesce across tenants
+	// while the accounting stays per-tenant.
+	views := make([]*client.Handle, len(names))
+	for i, tn := range names {
+		views[i] = h.ForTenant(tn)
+	}
+
+	type sample struct {
+		tenant  int
+		latency time.Duration
+	}
+	var (
+		mu      sync.Mutex
+		samples []sample
+		nerr    int
+	)
+	deadline := time.Now().Add(o.Duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for ci := 0; ci < o.Clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(o.Seed + 11*int64(ci) + 1))
+			var zipf *rand.Zipf
+			if len(names) > 1 {
+				zipf = rand.NewZipf(rng, o.ZipfS, 1, uint64(len(names)-1))
+			}
+			b := make([]float64, a.N)
+			for time.Now().Before(deadline) {
+				ti := 0
+				if zipf != nil {
+					ti = int(zipf.Uint64())
+				}
+				for i := range b {
+					b[i] = 2*rng.Float64() - 1
+				}
+				t0 := time.Now()
+				_, _, err := views[ti].Solve(ctx, b)
+				lat := time.Since(t0)
+				mu.Lock()
+				if err != nil {
+					nerr++
+				} else {
+					samples = append(samples, sample{tenant: ti, latency: lat})
+				}
+				mu.Unlock()
+			}
+		}(ci)
+	}
+
+	// The storm: a weight-1 tenant issuing back-to-back factorizations of
+	// the same structure — each one occupies a worker for a full numeric
+	// factorization, the contention the fair scheduler must bound.
+	if storm {
+		sc := c.ForTenant("storm")
+		for g := 0; g < 2; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for time.Now().Before(deadline) {
+					hs, _, err := sc.Factorize(ctx, a, sstar.DefaultOptions())
+					if err != nil {
+						mu.Lock()
+						nerr++
+						mu.Unlock()
+						continue
+					}
+					hs.Free(ctx)
+				}
+			}(g)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		return run, err
+	}
+
+	byTenant := make([][]time.Duration, len(names))
+	var all []time.Duration
+	for _, sm := range samples {
+		byTenant[sm.tenant] = append(byTenant[sm.tenant], sm.latency)
+		all = append(all, sm.latency)
+	}
+	for i, tn := range names {
+		ts, ok := st.Tenants[tn]
+		if len(byTenant[i]) > 0 && (!ok || ts.Requests == 0) {
+			return run, fmt.Errorf("server did not attribute traffic to %s: %+v", tn, st.Tenants)
+		}
+		run.Tenants = append(run.Tenants, TenantTail{
+			Tenant:   tn,
+			Weight:   ts.Weight,
+			Requests: len(byTenant[i]),
+			P50ms:    pctMs(byTenant[i], 0.50),
+			P99ms:    pctMs(byTenant[i], 0.99),
+			MaxMs:    pctMs(byTenant[i], 1),
+		})
+	}
+	if storm {
+		ts, ok := st.Tenants["storm"]
+		if !ok || ts.Requests == 0 {
+			return run, fmt.Errorf("server did not attribute storm traffic: %+v", st.Tenants)
+		}
+		run.StormFactorizes = ts.Requests
+	}
+
+	run.SolveRequests = len(samples)
+	run.Errors = nerr
+	if elapsed > 0 {
+		run.SolveRPS = float64(len(samples)) / elapsed.Seconds()
+	}
+	run.P50ms = pctMs(all, 0.50)
+	run.P99ms = pctMs(all, 0.99)
+	run.SolveBatches = st.SolveBatches
+	run.CoalescedSolves = st.CoalescedSolves
+	if st.SolveBatches > 0 {
+		run.MeanBatchWidth = float64(st.CoalescedSolves) / float64(st.SolveBatches)
+	}
+	return run, nil
+}
+
+// pctMs returns the p-quantile of ds in milliseconds (p=1 is the max).
+func pctMs(ds []time.Duration, p float64) float64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(p * float64(len(s)-1))
+	return float64(s[idx]) / 1e6
+}

@@ -8,6 +8,7 @@ package cluster
 // (never a refactorization).
 
 import (
+	"context"
 	"math"
 	"net"
 	"testing"
@@ -185,7 +186,7 @@ func TestClientFollowsRedirect(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	h, _, err := c.Factorize(sys.a, sstar.DefaultOptions())
+	h, _, err := c.Factorize(context.Background(), sys.a, sstar.DefaultOptions())
 	if err != nil {
 		t.Fatalf("factorize via non-owner shard: %v", err)
 	}
@@ -199,14 +200,14 @@ func TestClientFollowsRedirect(t *testing.T) {
 	if fleet.servers[wrong].HasHandle(h.ID()) {
 		t.Error("non-owner shard executed a redirected factorize")
 	}
-	x, _, err := h.Solve(sys.b)
+	x, _, err := h.Solve(context.Background(), sys.b)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bitIdentical(x, sys.xref) {
 		t.Error("redirected solve differs from local reference")
 	}
-	if err := h.Free(); err != nil {
+	if err := h.Free(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -223,7 +224,7 @@ func TestFailoverNoRefactorize(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	h, _, err := c.Factorize(sys.a, sstar.DefaultOptions())
+	h, _, err := c.Factorize(context.Background(), sys.a, sstar.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +232,7 @@ func TestFailoverNoRefactorize(t *testing.T) {
 	waitFor(t, "factor replication", func() bool { return fleet.replicaHolder(h.ID(), owner) >= 0 })
 
 	// Warm solve while the owner is alive, then the baseline counters.
-	x, _, err := h.Solve(sys.b)
+	x, _, err := h.Solve(context.Background(), sys.b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +243,7 @@ func TestFailoverNoRefactorize(t *testing.T) {
 
 	fleet.servers[owner].Close()
 
-	x, _, err = h.Solve(sys.b)
+	x, _, err = h.Solve(context.Background(), sys.b)
 	if err != nil {
 		t.Fatalf("solve after owner death: %v", err)
 	}
@@ -280,14 +281,14 @@ func TestScatterSolveMany(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	h, _, err := c.Factorize(sys.a, sstar.DefaultOptions())
+	h, _, err := c.Factorize(context.Background(), sys.a, sstar.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
 	owner := fleet.ownerIndex(h.Key())
 	waitFor(t, "factor replication", func() bool { return fleet.replicaHolder(h.ID(), owner) >= 0 })
 
-	x, _, err := h.SolveMany(b, nrhs)
+	x, _, err := h.SolveMany(context.Background(), b, nrhs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,7 +304,7 @@ func TestScatterSolveMany(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	x2, _, err := h.SolveMany(b[:sys.a.N*2], 2)
+	x2, _, err := h.SolveMany(context.Background(), b[:sys.a.N*2], 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -327,7 +328,7 @@ func TestAnalysisReplicationWarmsCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if _, _, err := c.Factorize(sys.a, sstar.DefaultOptions()); err != nil {
+	if _, _, err := c.Factorize(context.Background(), sys.a, sstar.DefaultOptions()); err != nil {
 		t.Fatal(err)
 	}
 	waitFor(t, "analysis replication", func() bool {
@@ -340,14 +341,14 @@ func TestAnalysisReplicationWarmsCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c2.Close()
-	h2, _, err := c2.Factorize(sys.a, sstar.DefaultOptions())
+	h2, _, err := c2.Factorize(context.Background(), sys.a, sstar.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if hits := fleet.servers[succ].Stats().CacheHits; hits != hitsBefore+1 {
 		t.Errorf("successor cache hits %d -> %d, want a hit from the replicated analysis", hitsBefore, hits)
 	}
-	x, _, err := h2.Solve(sys.b)
+	x, _, err := h2.Solve(context.Background(), sys.b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -366,14 +367,14 @@ func TestRouterAggregateStats(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	h, _, err := c.Factorize(sys.a, sstar.DefaultOptions())
+	h, _, err := c.Factorize(context.Background(), sys.a, sstar.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := h.Solve(sys.b); err != nil {
+	if _, _, err := h.Solve(context.Background(), sys.b); err != nil {
 		t.Fatal(err)
 	}
-	st, err := c.Stats()
+	st, err := c.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -384,7 +385,7 @@ func TestRouterAggregateStats(t *testing.T) {
 		t.Errorf("aggregate counters missing work: factorizes=%d solves=%d", st.Factorizes, st.Solves)
 	}
 	fleet.servers[2].Close()
-	st, err = c.Stats()
+	st, err = c.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,6 +16,7 @@ package cluster
 //     shards' factorize/refactorize counters.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"net"
@@ -115,7 +116,7 @@ func TestClusterChaosFailover(t *testing.T) {
 	for i, sys := range systems {
 		deadline := time.Now().Add(20 * time.Second)
 		for {
-			h, _, err := c.Factorize(sys.a, sstar.DefaultOptions())
+			h, _, err := c.Factorize(context.Background(), sys.a, sstar.DefaultOptions())
 			if err == nil {
 				handles[i] = h
 				break
@@ -188,10 +189,10 @@ func TestClusterChaosFailover(t *testing.T) {
 					var got, want []float64
 					var err error
 					if s%4 == 3 {
-						got, _, err = h.SolveMany(wide, 4)
+						got, _, err = h.SolveMany(context.Background(), wide, 4)
 						want = wideRef
 					} else {
-						got, _, err = h.Solve(sys.b)
+						got, _, err = h.Solve(context.Background(), sys.b)
 						want = sys.xref
 					}
 					if err == nil {

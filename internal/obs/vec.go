@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// CounterVec is a family of counters sharing one metric name, keyed by a
+// single label (e.g. per-tenant request counts rendered as
+// name{tenant="a"} 12). Series are created on first use, in first-seen order
+// for stable /metrics output. Nil-safe: With on a nil vec returns a nil
+// (no-op) Counter.
+type CounterVec struct {
+	label    string
+	mu       sync.RWMutex
+	vals     map[string]*Counter
+	order    []string
+	limit    int    // max distinct series; 0 = unbounded
+	overflow string // label value absorbing series past the limit
+}
+
+// Bound caps the vec at limit distinct label values; further values share
+// one spillover series under the overflow label value. Call once, before
+// traffic. Returns the vec for chaining at registration.
+func (v *CounterVec) Bound(limit int, overflow string) *CounterVec {
+	if v != nil {
+		v.limit, v.overflow = limit, overflow
+	}
+	return v
+}
+
+// With returns the counter for the given label value, creating it on first
+// use (or the spillover series when the vec is bounded and full).
+func (v *CounterVec) With(value string) *Counter {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	c := v.vals[value]
+	v.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c = v.vals[value]; c != nil {
+		return c
+	}
+	if v.limit > 0 && len(v.vals) >= v.limit && value != v.overflow {
+		value = v.overflow
+		if c = v.vals[value]; c != nil {
+			return c
+		}
+	}
+	c = &Counter{}
+	v.vals[value] = c
+	v.order = append(v.order, value)
+	return c
+}
+
+// Values snapshots the current series as label value -> count.
+func (v *CounterVec) Values() map[string]int64 {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[string]int64, len(v.vals))
+	for k, c := range v.vals {
+		out[k] = c.Value()
+	}
+	return out
+}
+
+// GaugeVec is a family of gauges keyed by a single label value; the labeled
+// analogue of Gauge, with the same creation and bounding rules as
+// CounterVec.
+type GaugeVec struct {
+	label    string
+	mu       sync.RWMutex
+	vals     map[string]*Gauge
+	order    []string
+	limit    int
+	overflow string
+}
+
+// Bound caps the vec at limit distinct label values (see CounterVec.Bound).
+func (v *GaugeVec) Bound(limit int, overflow string) *GaugeVec {
+	if v != nil {
+		v.limit, v.overflow = limit, overflow
+	}
+	return v
+}
+
+// With returns the gauge for the given label value, creating it on first
+// use.
+func (v *GaugeVec) With(value string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	g := v.vals[value]
+	v.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g = v.vals[value]; g != nil {
+		return g
+	}
+	if v.limit > 0 && len(v.vals) >= v.limit && value != v.overflow {
+		value = v.overflow
+		if g = v.vals[value]; g != nil {
+			return g
+		}
+	}
+	g = &Gauge{}
+	v.vals[value] = g
+	v.order = append(v.order, value)
+	return g
+}
+
+// Values snapshots the current series as label value -> value.
+func (v *GaugeVec) Values() map[string]int64 {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[string]int64, len(v.vals))
+	for k, g := range v.vals {
+		out[k] = g.Value()
+	}
+	return out
+}
+
+// CounterVec registers and returns a labeled counter family. The label is
+// the single label name every series carries.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	v := &CounterVec{label: label, vals: make(map[string]*Counter)}
+	r.register(&metric{name: name, help: help, kind: kindCounterVec, cv: v})
+	return v
+}
+
+// GaugeVec registers and returns a labeled gauge family.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	v := &GaugeVec{label: label, vals: make(map[string]*Gauge)}
+	r.register(&metric{name: name, help: help, kind: kindGaugeVec, gv: v})
+	return v
+}
+
+// escapeLabel quotes a label value per the Prometheus text format:
+// backslash, double quote and newline are escaped.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// writeCounterVec renders every series of a counter vec in first-seen order.
+func writeCounterVec(w io.Writer, name string, v *CounterVec) error {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	for _, lv := range v.order {
+		if _, err := fmt.Fprintf(w, "%s{%s=\"%s\"} %d\n", name, v.label, escapeLabel(lv), v.vals[lv].Value()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeGaugeVec renders every series of a gauge vec in first-seen order.
+func writeGaugeVec(w io.Writer, name string, v *GaugeVec) error {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	for _, lv := range v.order {
+		if _, err := fmt.Fprintf(w, "%s{%s=\"%s\"} %d\n", name, v.label, escapeLabel(lv), v.vals[lv].Value()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestVecPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("t_tenant_requests_total", "per-tenant requests", "tenant")
+	gv := r.GaugeVec("t_tenant_queue_depth", "per-tenant queue depth", "tenant")
+
+	cv.With("acme").Add(3)
+	cv.With("globex").Inc()
+	cv.With("acme").Inc() // existing series, same counter
+	gv.With("acme").Set(2)
+	gv.With(`we"ird\nt`).Set(1)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	for _, want := range []string{
+		"# TYPE t_tenant_requests_total counter",
+		`t_tenant_requests_total{tenant="acme"} 4`,
+		`t_tenant_requests_total{tenant="globex"} 1`,
+		"# TYPE t_tenant_queue_depth gauge",
+		`t_tenant_queue_depth{tenant="acme"} 2`,
+		`t_tenant_queue_depth{tenant="we\"ird\\nt"} 1`,
+	} {
+		if !strings.Contains(got, want+"\n") {
+			t.Errorf("missing %q in output:\n%s", want, got)
+		}
+	}
+	// First-seen order is stable.
+	if strings.Index(got, `tenant="acme"`) > strings.Index(got, `tenant="globex"`) {
+		t.Errorf("series not in first-seen order:\n%s", got)
+	}
+	if v := cv.Values(); v["acme"] != 4 || v["globex"] != 1 {
+		t.Errorf("Values snapshot wrong: %v", v)
+	}
+}
+
+func TestVecBoundSpillover(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("t_bounded_total", "bounded family", "tenant").Bound(2, "~other")
+	cv.With("a").Inc()
+	cv.With("b").Inc()
+	cv.With("c").Inc() // past the limit: lands on ~other
+	cv.With("d").Add(2)
+	cv.With("a").Inc() // existing series unaffected by the bound
+	v := cv.Values()
+	if v["a"] != 2 || v["b"] != 1 || v["~other"] != 3 {
+		t.Fatalf("spillover accounting wrong: %v", v)
+	}
+	if _, leaked := v["c"]; leaked {
+		t.Fatal("series past the bound must not be created")
+	}
+}
+
+func TestVecNilSafe(t *testing.T) {
+	var cv *CounterVec
+	var gv *GaugeVec
+	cv.With("x").Inc()
+	gv.With("x").Set(1)
+	if cv.Values() != nil || gv.Values() != nil {
+		t.Fatal("nil vec snapshots must be nil")
+	}
+	cv.Bound(1, "o")
+	gv.Bound(1, "o")
+}
+
+func TestVecConcurrent(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("t_conc_total", "concurrent", "tenant").Bound(8, "~other")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				cv.With(fmt.Sprintf("t%d", i%12)).Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := int64(0)
+	for _, n := range cv.Values() {
+		total += n
+	}
+	if total != 8*200 {
+		t.Fatalf("lost increments: %d", total)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -152,7 +152,7 @@ func TestChaosEndToEnd(t *testing.T) {
 			}
 			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 			if sy.h == nil {
-				h, _, err := cl.FactorizeCtx(ctx, sy.a, sstar.DefaultOptions())
+				h, _, err := cl.Factorize(ctx, sy.a, sstar.DefaultOptions())
 				cancel()
 				if err == nil {
 					sy.h = h
@@ -160,7 +160,7 @@ func TestChaosEndToEnd(t *testing.T) {
 				continue
 			}
 			if i%5 == 4 {
-				if _, err := sy.h.RefactorizeCtx(ctx, sy.vals); err != nil {
+				if _, err := sy.h.Refactorize(ctx, sy.vals); err != nil {
 					cancel()
 					if staleHandle(err) {
 						sy.h = nil
@@ -168,7 +168,7 @@ func TestChaosEndToEnd(t *testing.T) {
 					continue
 				}
 			}
-			x, _, err := sy.h.SolveCtx(ctx, sy.b)
+			x, _, err := sy.h.Solve(ctx, sy.b)
 			cancel()
 			if err != nil {
 				if staleHandle(err) {
@@ -213,8 +213,8 @@ func TestChaosEndToEnd(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if h, _, err := direct.Factorize(big, sstar.DefaultOptions()); err == nil {
-				h.Free()
+			if h, _, err := direct.Factorize(context.Background(), big, sstar.DefaultOptions()); err == nil {
+				h.Free(context.Background())
 			}
 		}()
 	}
@@ -229,7 +229,7 @@ func TestChaosEndToEnd(t *testing.T) {
 	// 100ms: far past any scheduling jitter, far short of the hundreds of
 	// milliseconds the workers stay pinned — the ping can only be shed.
 	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
-	if err := pingc.PingCtx(ctx); err == nil {
+	if err := pingc.Ping(ctx); err == nil {
 		t.Fatal("short-deadline ping behind two pinned workers succeeded")
 	}
 	cancel()
@@ -267,7 +267,7 @@ func TestChaosEndToEnd(t *testing.T) {
 	// including handles orphaned by lost factorize responses — to zero.
 	for _, sy := range systems {
 		if sy.h != nil {
-			sy.h.FreeCtx(context.Background())
+			sy.h.Free(context.Background())
 		}
 	}
 	deadline := time.Now().Add(10 * time.Second)

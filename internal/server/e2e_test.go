@@ -1,6 +1,7 @@
 package server_test
 
 import (
+	"context"
 	"math/rand"
 	"net"
 	"sort"
@@ -63,7 +64,7 @@ func TestEndToEndConcurrentClients(t *testing.T) {
 				for i := range m.Val {
 					m.Val[i] *= 1 + 0.2*rng.Float64()
 				}
-				h, _, err := c.Factorize(m, sstar.DefaultOptions())
+				h, _, err := c.Factorize(context.Background(), m, sstar.DefaultOptions())
 				if err != nil {
 					fail(err)
 					return
@@ -72,7 +73,7 @@ func TestEndToEndConcurrentClients(t *testing.T) {
 				for i := range b {
 					b[i] = 2*rng.Float64() - 1
 				}
-				x, _, err := h.Solve(b)
+				x, _, err := h.Solve(context.Background(), b)
 				if err != nil {
 					fail(err)
 					return
@@ -85,13 +86,13 @@ func TestEndToEndConcurrentClients(t *testing.T) {
 				for i := range vals {
 					vals[i] *= 1 + 0.1*rng.Float64()
 				}
-				if _, err := h.Refactorize(vals); err != nil {
+				if _, err := h.Refactorize(context.Background(), vals); err != nil {
 					fail(err)
 					return
 				}
 				m2 := m.Clone()
 				copy(m2.Val, vals)
-				x2, _, err := h.Solve(b)
+				x2, _, err := h.Solve(context.Background(), b)
 				if err != nil {
 					fail(err)
 					return
@@ -99,7 +100,7 @@ func TestEndToEndConcurrentClients(t *testing.T) {
 				if r := sstar.Residual(m2, x2, b); r > 1e-9 {
 					t.Errorf("client %d round %d: refactorized residual %g", ci, round, r)
 				}
-				if err := h.Free(); err != nil {
+				if err := h.Free(context.Background()); err != nil {
 					fail(err)
 					return
 				}
@@ -117,7 +118,7 @@ func TestEndToEndConcurrentClients(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	st, err := c.Stats()
+	st, err := c.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +159,7 @@ func TestRefactorizeBeatsColdFactorize(t *testing.T) {
 		// A fresh structure every time: nx varies, so nothing is cached.
 		m := sstar.GenGrid2D(20+j, 20, false, sstar.GenOptions{Seed: int64(j), Convection: 0.1})
 		t0 := time.Now()
-		h, st, err := c.Factorize(m, sstar.DefaultOptions())
+		h, st, err := c.Factorize(context.Background(), m, sstar.DefaultOptions())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -166,17 +167,17 @@ func TestRefactorizeBeatsColdFactorize(t *testing.T) {
 		if st.CacheHit {
 			t.Fatal("cold factorize hit the cache")
 		}
-		if err := h.Free(); err != nil {
+		if err := h.Free(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 	}
 
 	m := sstar.GenGrid2D(20, 20, false, sstar.GenOptions{Seed: 99, Convection: 0.1})
-	h, _, err := c.Factorize(m, sstar.DefaultOptions())
+	h, _, err := c.Factorize(context.Background(), m, sstar.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer h.Free()
+	defer h.Free(context.Background())
 	refac := make([]time.Duration, 0, reps)
 	vals := append([]float64(nil), m.Val...)
 	for j := 0; j < reps; j++ {
@@ -184,7 +185,7 @@ func TestRefactorizeBeatsColdFactorize(t *testing.T) {
 			vals[i] *= 1.01
 		}
 		t0 := time.Now()
-		if _, err := h.Refactorize(vals); err != nil {
+		if _, err := h.Refactorize(context.Background(), vals); err != nil {
 			t.Fatal(err)
 		}
 		refac = append(refac, time.Since(t0))
@@ -236,7 +237,7 @@ func TestCorruptFrameDropsOnlyThatConnection(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if err := c.Ping(); err != nil {
+	if err := c.Ping(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -265,7 +266,7 @@ func TestWrongProtocolHello(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if err := c.Ping(); err != nil {
+	if err := c.Ping(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 }

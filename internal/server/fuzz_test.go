@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"errors"
+	"strings"
 	"sync"
 	"testing"
 
@@ -34,6 +35,12 @@ func FuzzRequestDecode(f *testing.F) {
 		{Op: OpRefactorize, Handle: 2, Values: []float64{1, 2, 3}},
 		{Op: OpFree, Handle: 3},
 		{Op: Op(200)},
+		// Tenant is the additive QoS field: hostile names must be as
+		// survivable as hostile payloads (they become scheduler queue names
+		// and metric label values).
+		{Op: OpSolve, Handle: 1, B: make([]float64, 16), Tenant: "prod"},
+		{Op: OpPing, Tenant: "\x00\xff weird\nname\""},
+		{Op: OpFactorize, Matrix: a, Opts: sstar.DefaultOptions(), Tenant: strings.Repeat("t", 300)},
 	}
 	for _, req := range seeds {
 		var buf bytes.Buffer

@@ -26,6 +26,13 @@ type metrics struct {
 	solve     *obs.Histogram
 	request   *obs.Histogram
 
+	// Multi-tenant QoS surface: per-tenant request/shed counters and queue
+	// gauges (bounded families — tenants past the bound share one spillover
+	// series), plus the solve-coalescing width distribution.
+	tenantRequests  *obs.CounterVec
+	tenantSheds     *obs.CounterVec
+	solveBatchWidth *obs.Histogram
+
 	// Analyze-phase breakdown, observed once per freshly computed analysis
 	// (cache hits contribute nothing — they ran no phase).
 	phOrdering *obs.Histogram
@@ -89,7 +96,7 @@ func newMetrics(s *Server) *metrics {
 		func() float64 { return float64(s.sheds.Load()) })
 	reg.GaugeFunc("sstar_server_queue_depth",
 		"Requests waiting for a worker.",
-		func() float64 { return float64(len(s.jobs)) })
+		func() float64 { return float64(s.sched.depth()) })
 	reg.GaugeFunc("sstar_server_workers",
 		"Request-level worker pool size.",
 		func() float64 { return float64(s.cfg.Workers) })
@@ -141,6 +148,21 @@ func newMetrics(s *Server) *metrics {
 		"Per-block partition structure build of freshly computed analyses.")
 	m.phPatch = reg.Histogram("sstar_analyze_patch_seconds",
 		"Incremental symbolic re-analysis time of patched analyses.")
+
+	m.tenantRequests = reg.CounterVec("sstar_server_tenant_requests_total",
+		"Requests submitted per tenant (including sheds).", "tenant").
+		Bound(maxTenantQueues, spillTenant)
+	m.tenantSheds = reg.CounterVec("sstar_server_tenant_sheds_total",
+		"Requests refused by admission control, per tenant.", "tenant").
+		Bound(maxTenantQueues, spillTenant)
+	reg.CounterFunc("sstar_server_coalesced_solves_total",
+		"Solve requests answered from a batched solve of width >= 2 (bitwise identical to solving alone).",
+		func() float64 { return float64(s.coalescedSolves.Load()) })
+	reg.CounterFunc("sstar_server_solve_batches_total",
+		"Batched solve calls (width >= 2) the coalescer issued.",
+		func() float64 { return float64(s.solveBatches.Load()) })
+	m.solveBatchWidth = reg.Histogram("sstar_server_solve_batch_width",
+		"Width distribution of coalesced solve batches.", 2, 4, 8, 16, 32, 64)
 	return m
 }
 

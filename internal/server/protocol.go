@@ -161,7 +161,18 @@ type Request struct {
 	// retained CSR pattern (values unused) and Handle/Key the identity the
 	// replica installs under.
 	Blob []byte
+
+	// Tenant names the requester for the server's weighted fair scheduler
+	// and per-tenant accounting. An additive gob field: requests from
+	// clients that predate it decode with Tenant empty and are admitted
+	// under DefaultTenant. Purely a QoS identity — it never changes what a
+	// request computes.
+	Tenant string
 }
+
+// DefaultTenant is the tenant requests without a Tenant field (old peers,
+// unconfigured clients) are admitted and accounted under.
+const DefaultTenant = "default"
 
 // RequestStats is the per-request cost split the server reports with every
 // response: where the time went and whether the analysis cache served the
@@ -191,6 +202,24 @@ type RequestStats struct {
 	// this request ran with (the server's core-split knob; meaningful for
 	// factorize and refactorize).
 	FactorWorkers int
+	// BatchWidth is the number of solve requests the server coalesced into
+	// the one batched triangular solve this request rode in (1 = solved
+	// alone, 0 on non-solve ops and servers predating coalescing). The
+	// answer is bitwise identical at any width; the width only explains
+	// where the throughput came from.
+	BatchWidth int
+}
+
+// TenantStats is one tenant's slice of the server counters.
+type TenantStats struct {
+	// Requests counts this tenant's submissions (including sheds).
+	Requests int64
+	// Sheds counts this tenant's requests refused by admission control.
+	Sheds int64
+	// Queued is the tenant's backlog at snapshot time.
+	Queued int
+	// Weight is the tenant's fair-share weight in the scheduler.
+	Weight int
 }
 
 // ServerStats is a snapshot of the server's counters.
@@ -230,6 +259,17 @@ type ServerStats struct {
 	// over budget, lost diagonal) and a full analyze ran after all.
 	Patches        int64
 	PatchFallbacks int64
+
+	// CoalescedSolves counts solve requests that rode in a batched solve
+	// with at least one companion; SolveBatches counts the batched calls
+	// (width >= 2) they were merged into. Both zero when coalescing is
+	// disabled.
+	CoalescedSolves int64
+	SolveBatches    int64
+	// Tenants is the per-tenant counter breakdown, keyed by tenant name
+	// (DefaultTenant for requests that carried none). Additive gob field:
+	// old clients decode snapshots without it unchanged.
+	Tenants map[string]TenantStats
 
 	// Cluster fields — zero on a standalone server. On a shard they
 	// describe that shard; on a stats response aggregated by the router

@@ -83,7 +83,7 @@ func TestAdmissionShedsOnFullQueue(t *testing.T) {
 		}(i)
 	}
 	waitFactorizing(t, s, 1)
-	for i := 0; len(s.jobs) == 0; i++ {
+	for i := 0; s.sched.depth() == 0; i++ {
 		if i > 5000 {
 			t.Fatal("queue never filled")
 		}

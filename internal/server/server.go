@@ -64,6 +64,24 @@ type Config struct {
 	// DrainTimeout bounds how long Close waits for in-flight requests to
 	// finish before tearing connections down anyway (default 10s).
 	DrainTimeout time.Duration
+	// TenantWeights sets per-tenant fair-share weights for the weighted
+	// round-robin scheduler: a tenant with weight w is served up to w
+	// requests per scheduling round when every tenant is backlogged.
+	// Unlisted tenants (including DefaultTenant) weigh 1. Nil gives every
+	// tenant an equal share.
+	TenantWeights map[string]int
+	// CoalesceWidth is the maximum number of concurrent plain solves
+	// against one handle merged into a single batched triangular solve
+	// (bitwise identical to solving each alone). 0 selects the default
+	// (32, the panel width the solve kernels are sized for); 1 disables
+	// coalescing.
+	CoalesceWidth int
+	// CoalesceWindow is how long a dequeued solve waits for ride-along
+	// solves on the same handle before executing, when opportunistic
+	// collection found fewer than CoalesceWidth. 0 (the default) collects
+	// only what is already queued — no added latency; a small positive
+	// window trades that much solve latency for wider batches.
+	CoalesceWindow time.Duration
 	// Logf, when set, receives one line per connection event and per
 	// failed request.
 	Logf func(format string, args ...any)
@@ -136,6 +154,12 @@ func (c Config) withDefaults() Config {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 10 * time.Second
 	}
+	if c.CoalesceWidth == 0 {
+		c.CoalesceWidth = 32
+	}
+	if c.CoalesceWidth < 1 {
+		c.CoalesceWidth = 1
+	}
 	return c
 }
 
@@ -143,6 +167,7 @@ func (c Config) withDefaults() Config {
 // time budget and is processed whenever a worker frees up.
 type job struct {
 	req      *Request
+	tenant   string // resolved tenant (DefaultTenant when the request carried none)
 	enqueued time.Time
 	deadline time.Time
 	done     chan *Response
@@ -160,7 +185,8 @@ type Server struct {
 	cfg   Config
 	cache *analysisCache
 	reg   *registry
-	jobs  chan *job
+	sched *qosched      // per-tenant weighted fair queues (replaced the single jobs channel)
+	slots chan struct{} // admission capacity: one token per queued request, QueueDepth total
 	stop  chan struct{} // closed first: gates submissions, accept loops, sweeper
 	quit  chan struct{} // closed after drain: workers exit
 
@@ -183,6 +209,8 @@ type Server struct {
 	patches           atomic.Int64
 	patchFallbacks    atomic.Int64
 	replicasInstalled atomic.Int64
+	coalescedSolves   atomic.Int64 // solves that rode in a width >= 2 batch
+	solveBatches      atomic.Int64 // batched solve calls of width >= 2
 
 	// Blocking choice of the most recent factorize (cache hit or miss),
 	// exported as gauges so a blocking regression is visible on /metrics.
@@ -198,7 +226,8 @@ func New(cfg Config) *Server {
 		cfg:       cfg,
 		cache:     newAnalysisCache(cfg.CacheEntries),
 		reg:       newRegistry(cfg.MemBudget, cfg.HandleTTL),
-		jobs:      make(chan *job, cfg.QueueDepth),
+		sched:     newQosched(cfg.TenantWeights),
+		slots:     make(chan struct{}, cfg.QueueDepth),
 		stop:      make(chan struct{}),
 		quit:      make(chan struct{}),
 		listeners: make(map[net.Listener]struct{}),
@@ -308,6 +337,9 @@ func (s *Server) Close() error {
 	}
 
 	close(s.quit)
+	// Wake every worker blocked on the scheduler; they drain whatever is
+	// still queued (nothing new can arrive past the stop gate) and exit.
+	s.sched.stop()
 	s.workerWg.Wait()
 	s.mu.Lock()
 	for c := range s.conns {
@@ -363,11 +395,12 @@ func errResponse(err error) *Response {
 }
 
 // shed refuses a request without executing it, counting it on the shed,
-// request, and error counters.
-func (s *Server) shed(req *Request, queueNs int64, why string) *Response {
+// request, error, and per-tenant counters.
+func (s *Server) shed(req *Request, tenant string, queueNs int64, why string) *Response {
 	s.sheds.Add(1)
 	s.requests.Add(1)
 	s.errors.Add(1)
+	s.met.tenantSheds.With(tenant).Inc()
 	s.logf("server: shed %s: %s", req.Op, why)
 	resp := errResponse(fmt.Errorf("%w: %s", sstar.ErrOverloaded, why))
 	resp.Stats.QueueNs = queueNs
@@ -375,68 +408,78 @@ func (s *Server) shed(req *Request, queueNs int64, why string) *Response {
 	return resp
 }
 
-// submit runs the admission gate, queues the request on the worker pool, and
-// waits for its response. Admission control: a request carrying a deadline
-// budget is refused — never executed late — when the queue cannot even
-// accept it before the budget runs out; the dequeue side applies the
-// matching check (see worker). Requests arriving after Close has begun are
-// refused in-band with CodeOverloaded.
+// tenantOf resolves a request's tenant: the wire field when present,
+// DefaultTenant otherwise (old peers that predate the field land here).
+func tenantOf(req *Request) string {
+	if req.Tenant != "" {
+		return req.Tenant
+	}
+	return DefaultTenant
+}
+
+// submit runs the admission gate, queues the request on its tenant's fair
+// queue, and waits for the response. Admission control: capacity is a slot
+// pool of QueueDepth tokens shared by every tenant — a request carrying a
+// deadline budget is refused (never executed late) when no slot frees up
+// before the budget runs out, and the dequeue side applies the matching
+// check (see worker). Requests arriving after Close has begun are refused
+// in-band with CodeOverloaded.
 func (s *Server) submit(req *Request) *Response {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return s.shed(req, 0, "server shutting down")
+		return s.shed(req, tenantOf(req), 0, "server shutting down")
 	}
 	s.subWg.Add(1)
 	s.mu.Unlock()
 	defer s.subWg.Done()
 
-	j := &job{req: req, enqueued: time.Now(), done: make(chan *Response, 1)}
+	j := &job{req: req, tenant: tenantOf(req), enqueued: time.Now(), done: make(chan *Response, 1)}
+	s.met.tenantRequests.With(j.tenant).Inc()
 	if req.TimeoutNs > 0 {
 		j.deadline = j.enqueued.Add(time.Duration(req.TimeoutNs))
 	}
 	if j.deadline.IsZero() {
 		select {
-		case s.jobs <- j:
+		case s.slots <- struct{}{}:
 		case <-s.stop:
-			return s.shed(req, 0, "server shutting down")
+			return s.shed(req, j.tenant, 0, "server shutting down")
 		}
 	} else {
 		t := time.NewTimer(time.Until(j.deadline))
 		select {
-		case s.jobs <- j:
+		case s.slots <- struct{}{}:
 			t.Stop()
 		case <-t.C:
-			return s.shed(req, time.Since(j.enqueued).Nanoseconds(), "queue full past the request deadline")
+			return s.shed(req, j.tenant, time.Since(j.enqueued).Nanoseconds(), "queue full past the request deadline")
 		case <-s.stop:
 			t.Stop()
-			return s.shed(req, 0, "server shutting down")
+			return s.shed(req, j.tenant, 0, "server shutting down")
 		}
 	}
+	s.sched.enqueue(j)
 	// Every enqueued job is answered: workers keep running until the drain
 	// in Close has seen this submission complete.
 	return <-j.done
 }
 
-// worker processes jobs until quit; after quit it drains whatever is still
-// queued (Close guarantees no new submissions by then) so no admitted
-// request is ever dropped.
+// worker processes jobs until the scheduler reports drained-and-stopped
+// (Close guarantees no new submissions by then), so no admitted request is
+// ever dropped. A dequeued plain solve first collects ride-along solves on
+// the same handle and runs them as one batched, bitwise-identical solve.
 func (s *Server) worker(id int) {
 	defer s.workerWg.Done()
 	for {
-		select {
-		case j := <-s.jobs:
-			s.run(id, j)
-		case <-s.quit:
-			for {
-				select {
-				case j := <-s.jobs:
-					s.run(id, j)
-				default:
-					return
-				}
-			}
+		j, ok := s.sched.pop()
+		if !ok {
+			return
 		}
+		<-s.slots // the job left the queue; its admission slot frees up
+		if j.req.Op == OpSolve && s.cfg.CoalesceWidth > 1 {
+			s.runSolveBatch(id, j, s.collectRiders(j))
+			continue
+		}
+		s.run(id, j)
 	}
 }
 
@@ -446,7 +489,7 @@ func (s *Server) worker(id int) {
 func (s *Server) run(id int, j *job) {
 	queueNs := time.Since(j.enqueued).Nanoseconds()
 	if !j.deadline.IsZero() && time.Now().After(j.deadline) {
-		j.done <- s.shed(j.req, queueNs, fmt.Sprintf("queue wait %v exceeded the request deadline", time.Duration(queueNs)))
+		j.done <- s.shed(j.req, j.tenant, queueNs, fmt.Sprintf("queue wait %v exceeded the request deadline", time.Duration(queueNs)))
 		return
 	}
 	t0 := time.Now()
@@ -522,6 +565,11 @@ func (s *Server) doFactorize(req *Request) *Response {
 	// The patch budget is server policy too, normalized for the same
 	// reason as HostWorkers (and equally excluded from the key).
 	opts.PatchMaxDiff = s.cfg.PatchMaxDiff
+	// The virtual-machine routing knobs are meaningless on the service
+	// path: the server always factors on the host executor. Normalized so
+	// the cache's exact-options check cannot fragment on them (they are
+	// excluded from the structure key for the same reason).
+	opts.Procs, opts.Machine, opts.Mapping, opts.TraceParallel = 0, "", "", false
 	stats.FactorWorkers = s.cfg.FactorWorkers
 	key := sstar.StructureKey(a, opts)
 	t0 := time.Now()
@@ -770,28 +818,49 @@ func (s *Server) Stats() ServerStats {
 	hit, miss, entries := s.cache.counters()
 	nHandles, handleBytes, evictions := s.reg.stats()
 	st := ServerStats{
-		Requests:       s.requests.Load(),
-		Errors:         s.errors.Load(),
-		Factorizes:     s.factorizes.Load(),
-		Refactorizes:   s.refactorizes.Load(),
-		Solves:         s.solves.Load(),
-		CacheHits:      hit,
-		CacheMisses:    miss,
-		CacheEntries:   entries,
-		Coalesced:      s.cache.coalescedCount(),
-		Patches:        s.patches.Load(),
-		PatchFallbacks: s.patchFallbacks.Load(),
-		Handles:        nHandles,
-		ReplicaHandles: s.reg.replicaCount(),
-		Workers:        s.cfg.Workers,
-		FactorWorkers:  s.cfg.FactorWorkers,
-		QueueDepth:     len(s.jobs),
-		Sheds:          s.sheds.Load(),
-		Evictions:      evictions,
-		HandleBytes:    handleBytes,
+		Requests:        s.requests.Load(),
+		Errors:          s.errors.Load(),
+		Factorizes:      s.factorizes.Load(),
+		Refactorizes:    s.refactorizes.Load(),
+		Solves:          s.solves.Load(),
+		CacheHits:       hit,
+		CacheMisses:     miss,
+		CacheEntries:    entries,
+		Coalesced:       s.cache.coalescedCount(),
+		Patches:         s.patches.Load(),
+		PatchFallbacks:  s.patchFallbacks.Load(),
+		Handles:         nHandles,
+		ReplicaHandles:  s.reg.replicaCount(),
+		Workers:         s.cfg.Workers,
+		FactorWorkers:   s.cfg.FactorWorkers,
+		QueueDepth:      s.sched.depth(),
+		Sheds:           s.sheds.Load(),
+		Evictions:       evictions,
+		HandleBytes:     handleBytes,
+		CoalescedSolves: s.coalescedSolves.Load(),
+		SolveBatches:    s.solveBatches.Load(),
+		Tenants:         s.tenantStats(),
 	}
 	if hk := s.cfg.Cluster; hk != nil {
 		hk.AugmentStats(&st)
 	}
 	return st
+}
+
+// tenantStats assembles the per-tenant counter breakdown from the metric
+// vecs (the single source of truth) and the scheduler's live backlog.
+func (s *Server) tenantStats() map[string]TenantStats {
+	reqs := s.met.tenantRequests.Values()
+	sheds := s.met.tenantSheds.Values()
+	depths := s.sched.depths()
+	out := make(map[string]TenantStats, len(reqs))
+	for name, n := range reqs {
+		out[name] = TenantStats{
+			Requests: n,
+			Sheds:    sheds[name],
+			Queued:   depths[name],
+			Weight:   s.sched.weightOf(name),
+		}
+	}
+	return out
 }

@@ -1,6 +1,7 @@
 package server_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -29,7 +30,7 @@ func TestConcurrentSolvesDuringRefactorize(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer owner.Close()
-	h, st, err := owner.Factorize(a, sstar.DefaultOptions())
+	h, st, err := owner.Factorize(context.Background(), a, sstar.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestConcurrentSolvesDuringRefactorize(t *testing.T) {
 			mu.Lock()
 			versions = append(versions, vals)
 			mu.Unlock()
-			if _, err := h.Refactorize(vals); err != nil {
+			if _, err := h.Refactorize(context.Background(), vals); err != nil {
 				errs <- err
 				return
 			}
@@ -90,7 +91,7 @@ func TestConcurrentSolvesDuringRefactorize(t *testing.T) {
 			}
 			m := a.Clone()
 			for !stop.Load() {
-				x, _, err := h.Solve(b)
+				x, _, err := h.Solve(context.Background(), b)
 				if err != nil {
 					errs <- err
 					return
@@ -117,14 +118,14 @@ func TestConcurrentSolvesDuringRefactorize(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	sstats, err := owner.Stats()
+	sstats, err := owner.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if sstats.FactorWorkers != 2 {
 		t.Fatalf("server stats report %d factor workers, want 2", sstats.FactorWorkers)
 	}
-	if err := h.Free(); err != nil {
+	if err := h.Free(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 }

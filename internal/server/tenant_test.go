@@ -1,0 +1,310 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sstar"
+	"sstar/internal/wire"
+)
+
+// testRHS builds nrhs deterministic, mutually distinct right-hand sides.
+func testRHS(n, nrhs int) [][]float64 {
+	out := make([][]float64, nrhs)
+	for q := range out {
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = float64((i*7+q*13)%11) - 5 + float64(q)/8
+		}
+		out[q] = b
+	}
+	return out
+}
+
+// TestQoschedWeightedOrder: with every queue backlogged, a tenant of weight w
+// gets w consecutive dequeues per round-robin visit.
+func TestQoschedWeightedOrder(t *testing.T) {
+	q := newQosched(map[string]int{"heavy": 3, "light": 1})
+	mk := func(tenant string, i int) *job {
+		return &job{req: &Request{Op: OpPing}, tenant: tenant, done: make(chan *Response, 1)}
+	}
+	for i := 0; i < 6; i++ {
+		q.enqueue(mk("heavy", i))
+	}
+	for i := 0; i < 2; i++ {
+		q.enqueue(mk("light", i))
+	}
+	var order []string
+	for i := 0; i < 8; i++ {
+		j, ok := q.pop()
+		if !ok {
+			t.Fatal("pop reported stopped")
+		}
+		order = append(order, j.tenant)
+	}
+	want := []string{"heavy", "heavy", "heavy", "light", "heavy", "heavy", "heavy", "light"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("dequeue order %v, want %v", order, want)
+	}
+	if d := q.depth(); d != 0 {
+		t.Fatalf("depth %d after draining", d)
+	}
+}
+
+// TestSolveBatchBitwiseIdentical is the coalescing correctness property: at
+// every batch width 1..32, a coalesced solve returns, for each member,
+// bitwise exactly the vector a lone Solve of that member's rhs returns.
+func TestSolveBatchBitwiseIdentical(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, CoalesceWidth: 32})
+	a := sstar.GenGrid2D(11, 10, false, sstar.GenOptions{Seed: 42, Convection: 0.3})
+	fr := s.submit(&Request{Op: OpFactorize, Matrix: a, Opts: sstar.DefaultOptions()})
+	if fr.Err != "" {
+		t.Fatal(fr.Err)
+	}
+	h := fr.Handle
+
+	const maxW = 32
+	rhs := testRHS(a.N, maxW)
+	// Reference: each rhs solved alone through the server (a width-1 batch
+	// takes the exact single-solve path).
+	ref := make([][]float64, maxW)
+	for q, b := range rhs {
+		resp := s.submit(&Request{Op: OpSolve, Handle: h, B: b})
+		if resp.Err != "" {
+			t.Fatal(resp.Err)
+		}
+		ref[q] = resp.X
+	}
+
+	for w := 1; w <= maxW; w++ {
+		batch := make([]*job, w)
+		for q := 0; q < w; q++ {
+			batch[q] = &job{
+				req:      &Request{Op: OpSolve, Handle: h, B: rhs[q]},
+				tenant:   DefaultTenant,
+				enqueued: time.Now(),
+				done:     make(chan *Response, 1),
+			}
+		}
+		s.runSolveBatch(0, batch[0], batch[1:])
+		for q, j := range batch {
+			resp := <-j.done
+			if resp.Err != "" {
+				t.Fatalf("width %d member %d: %s", w, q, resp.Err)
+			}
+			if resp.Stats.BatchWidth != w {
+				t.Fatalf("width %d member %d reported BatchWidth %d", w, q, resp.Stats.BatchWidth)
+			}
+			if len(resp.X) != len(ref[q]) {
+				t.Fatalf("width %d member %d: len %d want %d", w, q, len(resp.X), len(ref[q]))
+			}
+			for i := range resp.X {
+				if resp.X[i] != ref[q][i] {
+					t.Fatalf("width %d member %d: x[%d] = %x, lone solve %x — coalescing changed bits",
+						w, q, i, resp.X[i], ref[q][i])
+				}
+			}
+		}
+	}
+	if n := s.solveBatches.Load(); n == 0 {
+		t.Fatal("no batched solve recorded")
+	}
+}
+
+// TestCoalescingEndToEnd drives coalescing through the real queue: solves
+// piling up behind a busy worker ride one batch when the worker frees, each
+// answered bitwise identically to solving alone.
+func TestCoalescingEndToEnd(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 64, CoalesceWidth: 32})
+	a := sstar.GenGrid2D(12, 12, false, sstar.GenOptions{Seed: 7, Convection: 0.2})
+	fr := s.submit(&Request{Op: OpFactorize, Matrix: a, Opts: sstar.DefaultOptions()})
+	if fr.Err != "" {
+		t.Fatal(fr.Err)
+	}
+	h := fr.Handle
+
+	const nrhs = 8
+	rhs := testRHS(a.N, nrhs)
+	ref := make([][]float64, nrhs)
+	for q, b := range rhs {
+		resp := s.submit(&Request{Op: OpSolve, Handle: h, B: b})
+		if resp.Err != "" {
+			t.Fatal(resp.Err)
+		}
+		ref[q] = resp.X
+	}
+
+	// Occupy the only worker, then pile the solves up behind it.
+	busy := make(chan *Response, 1)
+	go func() {
+		busy <- s.submit(&Request{Op: OpFactorize, Matrix: slowMatrix(3), Opts: sstar.DefaultOptions()})
+	}()
+	waitFactorizing(t, s, 2)
+	resps := make([]*Response, nrhs)
+	var wg sync.WaitGroup
+	for q := 0; q < nrhs; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			resps[q] = s.submit(&Request{Op: OpSolve, Handle: h, B: rhs[q]})
+		}(q)
+	}
+	for i := 0; s.sched.depth() < nrhs; i++ {
+		if i > 5000 {
+			t.Fatal("solves never queued behind the busy worker")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	wg.Wait()
+	if r := <-busy; r.Err != "" {
+		t.Fatalf("blocker factorize failed: %s", r.Err)
+	}
+
+	for q, resp := range resps {
+		if resp.Err != "" {
+			t.Fatalf("solve %d: %s", q, resp.Err)
+		}
+		for i := range resp.X {
+			if resp.X[i] != ref[q][i] {
+				t.Fatalf("solve %d: x[%d] = %x, lone solve %x", q, i, resp.X[i], ref[q][i])
+			}
+		}
+	}
+	st := s.Stats()
+	if st.SolveBatches == 0 || st.CoalescedSolves < 2 {
+		t.Fatalf("queued solves never coalesced: batches=%d coalesced=%d", st.SolveBatches, st.CoalescedSolves)
+	}
+}
+
+// TestTenantFairShareUnderStorm: one tenant flooding the queue with
+// factorizes cannot starve another tenant's solve — weighted round-robin
+// serves the quiet tenant on its next turn, ahead of the storm's backlog.
+func TestTenantFairShareUnderStorm(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 64, CoalesceWidth: 1})
+	a := sstar.GenGrid2D(10, 10, false, sstar.GenOptions{Seed: 9, Convection: 0.2})
+	fr := s.submit(&Request{Op: OpFactorize, Matrix: a, Opts: sstar.DefaultOptions(), Tenant: "quiet"})
+	if fr.Err != "" {
+		t.Fatal(fr.Err)
+	}
+	b := testRHS(a.N, 1)[0]
+	ref := s.submit(&Request{Op: OpSolve, Handle: fr.Handle, B: b, Tenant: "quiet"})
+	if ref.Err != "" {
+		t.Fatal(ref.Err)
+	}
+
+	// The storm: occupy the worker, then queue 10 more factorizes of
+	// distinct structures (no cache hits, real work each).
+	const stormN = 10
+	var wg sync.WaitGroup
+	stormResps := make([]*Response, stormN)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.submit(&Request{Op: OpFactorize, Matrix: slowMatrix(11), Opts: sstar.DefaultOptions(), Tenant: "storm"})
+	}()
+	waitFactorizing(t, s, 2)
+	for i := 0; i < stormN; i++ {
+		wg.Add(1)
+		go func(i int, m *sstar.Matrix) {
+			defer wg.Done()
+			stormResps[i] = s.submit(&Request{Op: OpFactorize, Matrix: m, Opts: sstar.DefaultOptions(), Tenant: "storm"})
+		}(i, sstar.GenGrid2D(16, 17+i, false, sstar.GenOptions{Seed: int64(i), Convection: 0.1}))
+	}
+	for i := 0; s.sched.depth() < stormN; i++ {
+		if i > 5000 {
+			t.Fatal("storm never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The quiet tenant's solve arrives with 10 storm factorizes already
+	// queued ahead of it in submission order. Fair share: it runs on the
+	// quiet queue's next round-robin turn, behind at most one more storm
+	// job — not behind the whole backlog. The assertion uses the
+	// server-measured queue waits (QueueNs, clocked at dequeue), which are
+	// immune to goroutine wake-up latency: served fairly, the solve waits
+	// less than almost every storm job; served FIFO, it would wait longer
+	// than all of them.
+	resp := s.submit(&Request{Op: OpSolve, Handle: fr.Handle, B: b, Tenant: "quiet"})
+	if resp.Err != "" {
+		t.Fatalf("quiet solve under storm: %s", resp.Err)
+	}
+	for i := range resp.X {
+		if resp.X[i] != ref.X[i] {
+			t.Fatalf("quiet solve changed under storm: x[%d] = %x want %x", i, resp.X[i], ref.X[i])
+		}
+	}
+	wg.Wait()
+	longerWaits := 0
+	for i, r := range stormResps {
+		if r == nil || r.Err != "" {
+			t.Fatalf("storm factorize %d failed: %+v", i, r)
+		}
+		if r.Stats.QueueNs > resp.Stats.QueueNs {
+			longerWaits++
+		}
+	}
+	if longerWaits < stormN*2/3 {
+		t.Fatalf("quiet solve queued %v, longer than %d of %d storm jobs — starved past its fair share",
+			time.Duration(resp.Stats.QueueNs), stormN-longerWaits, stormN)
+	}
+
+	st := s.Stats()
+	qs, ss := st.Tenants["quiet"], st.Tenants["storm"]
+	if qs.Requests < 3 || ss.Requests != stormN+1 {
+		t.Fatalf("tenant request counters: quiet=%d storm=%d (want >=3, %d)", qs.Requests, ss.Requests, stormN+1)
+	}
+	if qs.Weight != 1 || ss.Weight != 1 {
+		t.Fatalf("tenant weights: quiet=%d storm=%d", qs.Weight, ss.Weight)
+	}
+}
+
+// legacyRequest mirrors the wire Request as a peer that predates the Tenant
+// field encoded it. Gob matches struct fields by name, so a stream encoded
+// from this type must decode into today's Request with Tenant left zero.
+type legacyRequest struct {
+	Op     Op
+	Handle uint64
+	B      []float64
+}
+
+// TestOldPeerRequestDefaultTenant: a fieldless (pre-Tenant) request decodes
+// cleanly and is admitted under the default tenant.
+func TestOldPeerRequestDefaultTenant(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	a := sstar.GenGrid2D(8, 8, false, sstar.GenOptions{Seed: 2, Convection: 0.2})
+	fr := s.submit(&Request{Op: OpFactorize, Matrix: a, Opts: sstar.DefaultOptions()})
+	if fr.Err != "" {
+		t.Fatal(fr.Err)
+	}
+	b := testRHS(a.N, 1)[0]
+
+	for _, legacy := range []*legacyRequest{
+		{Op: OpPing},
+		{Op: OpSolve, Handle: fr.Handle, B: b},
+	} {
+		var buf bytes.Buffer
+		if err := wire.WriteGob(&buf, FrameRequest, legacy); err != nil {
+			t.Fatal(err)
+		}
+		req := new(Request)
+		if err := wire.ReadGob(&buf, FrameRequest, 1<<20, req); err != nil {
+			t.Fatalf("old-peer request failed to decode: %v", err)
+		}
+		if req.Tenant != "" {
+			t.Fatalf("fieldless request decoded Tenant %q", req.Tenant)
+		}
+		if got := tenantOf(req); got != DefaultTenant {
+			t.Fatalf("tenantOf(fieldless) = %q, want %q", got, DefaultTenant)
+		}
+		if resp := s.submit(req); resp.Err != "" {
+			t.Fatalf("old-peer %s refused: %s", req.Op, resp.Err)
+		}
+	}
+	if n := s.Stats().Tenants[DefaultTenant].Requests; n < 2 {
+		t.Fatalf("default-tenant requests %d, want >= 2", n)
+	}
+}

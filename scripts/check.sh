@@ -39,3 +39,11 @@ go test -run='^$' -fuzz='^FuzzRedirectDecode$' -fuzztime=5s ./internal/server
 # Observer, stats off) must stay allocation-free in the kernels and the
 # obs primitives.
 go test -run 'ZeroAlloc' -count=1 ./internal/obs ./internal/xblas
+
+# Multi-tenant smoke: two zipf-skewed tenants through the coalescing server
+# with a weight-1 factorize storm. The bench itself hard-fails unless the
+# server attributes every tenant's traffic to its per-tenant counters; the
+# greps pin the per-tenant tails and the storm accounting in the report.
+go run ./cmd/sstar-load -tenants 2 -clients 8 -workers 2 -duration 1s -nx 20 -coalesce-window 1ms -out /tmp/sstar_tenant_smoke.json
+grep -q '"tenant": "tenant-1"' /tmp/sstar_tenant_smoke.json
+grep -q '"storm_factorizes"' /tmp/sstar_tenant_smoke.json

@@ -89,6 +89,28 @@ type Options struct {
 	// without it. Local-only — it is ignored by the solver service's wire
 	// protocol — and excluded from StructureKey.
 	Observer Observer
+	// Procs, when positive, routes Factorize through the virtual
+	// distributed-memory machine: the matrix is factorized by the selected
+	// parallel Mapping on Procs modeled processors of Machine, and the
+	// modeled run statistics become available from Factorization.RunStats.
+	// 0 (the default) keeps the host path (sequential, or the HostWorkers
+	// task-DAG executor). Factors are bit-identical across every execution
+	// path, so Procs/Machine/Mapping/TraceParallel never change results —
+	// they are excluded from StructureKey and ignored (normalized to zero)
+	// by the solver service.
+	Procs int
+	// Machine selects the virtual machine cost model for Procs > 0 runs:
+	// "" or T3E for the Cray T3E constants, T3D for the T3D. Ignored on
+	// the host path.
+	Machine MachineName
+	// Mapping selects the parallel execution strategy for Procs > 0 runs:
+	// "" or Map2D for the paper's flagship asynchronous 2D code, Map1DCA,
+	// Map1DRAPID, Map2DSync. Ignored on the host path.
+	Mapping Mapping
+	// TraceParallel records per-processor task spans on the virtual
+	// timelines of a Procs > 0 run (Gantt-style observability; the modeled
+	// times are unaffected). Ignored on the host path.
+	TraceParallel bool
 }
 
 // DefaultPatchMaxDiff is the Analysis.Patch diff budget used when
@@ -152,7 +174,17 @@ type Factorization struct {
 	parProcs int
 	parModel machine.Model
 	parGrid  [2]int // pr x pc when the run used the 2D codes
+
+	// runStats holds the modeled execution statistics when the
+	// factorization came from the virtual-machine path (Options.Procs > 0);
+	// nil for host factorizations. Not serialized by Save/Load.
+	runStats *RunStats
 }
+
+// RunStats returns the modeled execution statistics of the virtual-machine
+// run that produced this factorization (Options.Procs > 0), or nil when the
+// factors came from the host path. Not serialized by Save/Load.
+func (f *Factorization) RunStats() *RunStats { return f.runStats }
 
 // validate rejects matrices the pipeline cannot factor before any expensive
 // work happens: non-square shapes, empty rows or columns (structural
@@ -185,33 +217,23 @@ func validate(a *Matrix, o Options) error {
 	return nil
 }
 
-// Factorize analyzes and numerically factorizes a. It is equivalent to
-// Analyze followed by FactorizeWith; callers that factorize many matrices
-// with one pattern should hold the Analysis and call FactorizeWith directly.
+// Factorize analyzes and numerically factorizes a. This is the single
+// factorize entrypoint: Options.HostWorkers selects the shared-memory
+// task-DAG executor, and Options.Procs > 0 routes the run through the
+// virtual distributed-memory machine (Machine/Mapping/TraceParallel apply;
+// modeled statistics via Factorization.RunStats). The factors are
+// bit-identical on every path. On the host path it is equivalent to Analyze
+// followed by FactorizeWith; callers that factorize many matrices with one
+// pattern should hold the Analysis and call FactorizeWith directly.
 func Factorize(a *Matrix, o Options) (*Factorization, error) {
+	if o.Procs > 0 {
+		return factorizeVirtual(a, o)
+	}
 	an, err := Analyze(a, o)
 	if err != nil {
 		return nil, err
 	}
 	return an.FactorizeWith(a)
-}
-
-// FactorizeHostParallel is Factorize with Options.HostWorkers defaulted to
-// the machine's core count (runtime.NumCPU()).
-//
-// Deprecated: there is one factorize entrypoint — set Options.HostWorkers
-// and call Factorize. The parallel factors are bit-identical to the
-// sequential ones at any worker count, so the choice is pure wall-clock.
-func FactorizeHostParallel(a *Matrix, o Options) (*Factorization, error) {
-	return Factorize(a, withDefaultWorkers(o))
-}
-
-// withDefaultWorkers fills HostWorkers with the core count when unset.
-func withDefaultWorkers(o Options) Options {
-	if o.HostWorkers <= 0 {
-		o.HostWorkers = core.DefaultHostWorkers()
-	}
-	return o
 }
 
 // Refactorize reuses the symbolic analysis to factorize a matrix with the
@@ -323,6 +345,10 @@ const (
 )
 
 // ParOptions configures a parallel factorization on the virtual machine.
+//
+// Deprecated: the split is folded into Options — set Options.Procs,
+// Options.Machine, Options.Mapping and Options.TraceParallel directly and
+// call Factorize.
 type ParOptions struct {
 	Options
 	Procs   int
@@ -364,23 +390,43 @@ func model(name MachineName) (machine.Model, error) {
 
 // FactorizeParallel analyzes and factorizes a on the virtual distributed
 // machine, returning the factors (usable with Solve) plus run statistics.
+//
+// Deprecated: there is one factorize entrypoint — set Options.Procs (plus
+// Machine/Mapping/TraceParallel) and call Factorize; the modeled statistics
+// are available from Factorization.RunStats.
 func FactorizeParallel(a *Matrix, o ParOptions) (*Factorization, *RunStats, error) {
-	if o.Procs <= 0 {
-		o.Procs = 1
+	opts := o.Options
+	opts.Procs = o.Procs
+	if opts.Procs <= 0 {
+		opts.Procs = 1
 	}
-	m, err := model(o.Machine)
+	opts.Machine = o.Machine
+	opts.Mapping = o.Mapping
+	opts.TraceParallel = o.Trace
+	f, err := Factorize(a, opts)
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := validate(a, o.Options); err != nil {
-		return nil, nil, err
+	return f, f.RunStats(), nil
+}
+
+// factorizeVirtual is the Options.Procs > 0 arm of Factorize: the full
+// virtual-machine run, with the modeled statistics attached to the returned
+// Factorization.
+func factorizeVirtual(a *Matrix, o Options) (*Factorization, error) {
+	m, err := model(o.Machine)
+	if err != nil {
+		return nil, err
+	}
+	if err := validate(a, o); err != nil {
+		return nil, err
 	}
 	sym := o.analyze(a)
 	// Derate the kernel rates for the achieved average panel width (the
 	// paper's DGEMM/DGEMV numbers are calibrated at block size 25).
 	m = m.WithBlockSize(sym.Partition.FlopWeightedWidth())
 	var runOpts []core.RunOption
-	if o.Trace {
+	if o.TraceParallel {
 		runOpts = append(runOpts, core.WithTracing())
 	}
 	var res *core.ParResult
@@ -404,10 +450,10 @@ func FactorizeParallel(a *Matrix, o ParOptions) (*Factorization, *RunStats, erro
 		grid = [2]int{pr, pc}
 		res, err = core.Factorize2D(a, sym, m, pr, pc, false, runOpts...)
 	default:
-		return nil, nil, fmt.Errorf("sstar: unknown mapping %q", o.Mapping)
+		return nil, fmt.Errorf("sstar: unknown mapping %q", o.Mapping)
 	}
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 
 	// MFLOPS by the paper's convention: dynamic-fill operation count over
@@ -434,7 +480,8 @@ func FactorizeParallel(a *Matrix, o ParOptions) (*Factorization, *RunStats, erro
 		sym: sym, fact: res.Fact,
 		patHash: patternHash(a), patNnz: a.Nnz(),
 		parOwner: owner, parProcs: o.Procs, parModel: m, parGrid: grid,
-	}, stats, nil
+		runStats: stats,
+	}, nil
 }
 
 // Residual returns ||Ax-b||_inf / (||A||_inf ||x||_inf + ||b||_inf), the

@@ -141,6 +141,56 @@ func TestFactorizeParallelAllMappings(t *testing.T) {
 	}
 }
 
+// TestFactorizeVirtualFold: the folded surface — Options.Procs routes
+// Factorize through the virtual machine, RunStats surfaces the modeled
+// statistics, and the deprecated FactorizeParallel wrapper agrees with it.
+func TestFactorizeVirtualFold(t *testing.T) {
+	a := GenGrid2D(12, 12, false, GenOptions{Seed: 6, Convection: 0.4})
+	b := rhs(a.N, 7)
+	o := DefaultOptions()
+	o.Procs, o.Machine, o.Mapping = 4, T3E, Map2D
+	f, err := Factorize(a, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := f.RunStats()
+	if stats == nil || stats.ParallelTime <= 0 || stats.MFLOPS <= 0 {
+		t.Fatalf("virtual-path RunStats missing or empty: %+v", stats)
+	}
+	x, err := f.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := Residual(a, x, b); r > 1e-10 {
+		t.Fatalf("residual %g", r)
+	}
+	// Host path must not carry run stats.
+	fh, err := Factorize(a, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fh.RunStats() != nil {
+		t.Fatal("host-path factorization has virtual RunStats")
+	}
+	// The deprecated wrapper is a thin alias for the folded options.
+	fw, ws, err := FactorizeParallel(a, ParOptions{Options: DefaultOptions(), Procs: 4, Machine: T3E, Mapping: Map2D})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws == nil || ws.ParallelTime != stats.ParallelTime || ws.SentBytes != stats.SentBytes {
+		t.Fatalf("wrapper stats diverge: %+v vs %+v", ws, stats)
+	}
+	xw, err := fw.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if x[i] != xw[i] {
+			t.Fatalf("wrapper solution differs at %d", i)
+		}
+	}
+}
+
 func TestFactorizeParallelValidation(t *testing.T) {
 	a := GenDense(20, 8)
 	if _, _, err := FactorizeParallel(a, ParOptions{Procs: 2, Machine: "vax"}); err == nil {
