@@ -1,7 +1,7 @@
 GO ?= go
 SERVE_ADDR ?= 127.0.0.1:7071
 
-.PHONY: check tier1 build test race chaos cluster fuzz bench-kernels bench-blocking benchpar bench-analyze bench-tenants serve loadtest trace
+.PHONY: check tier1 build test race chaos cluster cluster-churn fuzz bench-kernels bench-blocking benchpar bench-analyze bench-tenants bench-churn serve loadtest trace
 
 check: ## gofmt + vet + build + tests + race detector (CI gate)
 	sh scripts/check.sh
@@ -26,10 +26,14 @@ chaos: ## fault-injection suite: chaos conn/proxy tests + the end-to-end kill/re
 cluster: ## the sharded-cluster suite: ring placement, redirects, replication failover, scatter, chaos e2e — race detector on
 	$(GO) test -race -count=1 -timeout 600s ./internal/cluster
 
+cluster-churn: ## the self-healing suite: membership churn property test + kill/rejoin and partition e2e — race detector on
+	$(GO) test -race -count=1 -run 'TestChurnConvergence|TestSelfHealKillRejoinE2E|TestClusterPartitionHeal' -timeout 600s ./internal/cluster
+
 fuzz: ## short fuzz smokes over the wire codec and the server request/response decoders
 	$(GO) test -run='^$$' -fuzz='^FuzzReadFrame$$' -fuzztime=10s ./internal/wire
 	$(GO) test -run='^$$' -fuzz='^FuzzRequestDecode$$' -fuzztime=10s ./internal/server
 	$(GO) test -run='^$$' -fuzz='^FuzzRedirectDecode$$' -fuzztime=10s ./internal/server
+	$(GO) test -run='^$$' -fuzz='^FuzzMembershipDecode$$' -fuzztime=10s ./internal/server
 
 bench-kernels: ## regenerate the tracked kernel benchmark report
 	$(GO) run ./cmd/sstar-bench -experiment kernels -out BENCH_kernels.json
@@ -45,6 +49,9 @@ bench-analyze: ## refresh the cold_analysis section of BENCH_service.json (cold-
 
 bench-tenants: ## refresh the multi_tenant section of BENCH_service.json (per-tenant solve tails: coalescing off/on, then + a weight-1 factorize storm)
 	$(GO) run ./cmd/sstar-load -tenants 3 -clients 16 -workers 2 -duration 3s -nx 48 -coalesce-window 2ms -out BENCH_service.json
+
+bench-churn: ## refresh the availability section of BENCH_service.json (kill/rejoin rounds: failover, repair, rejoin-converged latency)
+	$(GO) run ./cmd/sstar-load -churn -rounds 3 -out BENCH_service.json
 
 trace: ## record a Chrome trace of a small parallel factorization and validate it
 	$(GO) run ./cmd/sstar-bench -trace trace.json -matrix jpwh991 -scale 0.5 -procs 4

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -68,8 +69,35 @@ func (c *Client) Metrics() Metrics {
 
 // maxRedirectFollows bounds how many cluster redirects one logical call
 // follows, so a misconfigured fleet (shards pointing at each other) fails
-// typed instead of looping.
+// typed instead of looping. The budget refills when a redirect carries a new
+// membership epoch — the fleet changed under the call, so fresh placement
+// answers are new information, not evidence of a loop — bounded absolutely
+// by maxRedirectChain.
 const maxRedirectFollows = 8
+
+// maxRedirectChain is the absolute ceiling on redirects followed by one
+// logical call, across every epoch-triggered budget refill. A fleet churning
+// faster than a call can chase placement still terminates typed.
+const maxRedirectChain = 64
+
+// RedirectLoopError reports a call whose cluster redirects never reached a
+// shard willing to execute it: every hop named another owner until the hop
+// budget ran out. errors.Is matches it against sstar.ErrRedirectLoop; Hops
+// is the address chain the call walked, last entry the target the next hop
+// would have visited — the cycle is visible in the repetition.
+type RedirectLoopError struct {
+	Op   string
+	Hops []string
+}
+
+// Error names the op and the full hop chain.
+func (e *RedirectLoopError) Error() string {
+	return fmt.Sprintf("%v: %s gave up after %d redirects: %s",
+		sstar.ErrRedirectLoop, e.Op, len(e.Hops)-1, strings.Join(e.Hops, " -> "))
+}
+
+// Is matches the sstar.ErrRedirectLoop sentinel.
+func (e *RedirectLoopError) Is(target error) bool { return target == sstar.ErrRedirectLoop }
 
 // roundTrip runs one logical call against the primary address.
 func (c *Client) roundTrip(ctx context.Context, req *server.Request) (*server.Response, error) {
@@ -103,13 +131,31 @@ func (c *Client) roundTripAt(ctx context.Context, req *server.Request, preferred
 	}
 	for attempt := 0; ; attempt++ {
 		resp, err = c.doRoundTrip(ctx, req, target)
-		for hops := 0; err != nil && hops < maxRedirectFollows; hops++ {
+		var hops []string
+		budget := maxRedirectFollows
+		var epoch uint64
+		for err != nil && len(hops) < maxRedirectChain {
 			var re *RemoteError
 			if !errors.As(err, &re) || (re.Code != server.CodeRedirect && re.Code != server.CodeNotOwner) ||
 				resp == nil || resp.Addr == "" || resp.Addr == target {
 				break
 			}
+			if resp.Epoch > epoch {
+				if epoch != 0 {
+					// The fleet's membership changed mid-call: placement
+					// answers computed from the new ring are not loop
+					// evidence — start the hop budget over.
+					budget = maxRedirectFollows
+				}
+				epoch = resp.Epoch
+			}
+			if budget == 0 {
+				err = &RedirectLoopError{Op: req.Op.String(), Hops: append(hops, target, resp.Addr)}
+				break
+			}
+			budget--
 			c.met.redirects.Add(1)
+			hops = append(hops, target)
 			target = resp.Addr
 			resp, err = c.doRoundTrip(ctx, req, target)
 		}

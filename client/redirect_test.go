@@ -104,8 +104,15 @@ func TestRedirectPingPongBounded(t *testing.T) {
 	defer c.Close()
 	m := sstar.GenGrid2D(2, 2, false, sstar.GenOptions{Seed: 2})
 	_, _, err = c.Factorize(context.Background(), m, sstar.DefaultOptions())
-	if !errors.Is(err, sstar.ErrRedirect) {
-		t.Fatalf("err = %v, want ErrRedirect after bounded hops", err)
+	if !errors.Is(err, sstar.ErrRedirectLoop) {
+		t.Fatalf("err = %v, want ErrRedirectLoop after bounded hops", err)
+	}
+	var loop *RedirectLoopError
+	if !errors.As(err, &loop) {
+		t.Fatalf("err = %T, want *RedirectLoopError", err)
+	}
+	if len(loop.Hops) < 2 {
+		t.Errorf("RedirectLoopError.Hops = %v, want the traversed chain", loop.Hops)
 	}
 	if got := total.Load(); got > 16 {
 		t.Errorf("ping-pong consumed %d requests — the hop bound did not hold", got)

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"time"
 
+	"sstar"
 	"sstar/internal/server"
 )
 
@@ -102,6 +103,11 @@ func retryable(op server.Op, err error) bool {
 		return re.Code == server.CodeOverloaded
 	}
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if errors.Is(err, sstar.ErrRedirectLoop) {
+		// The fleet disagrees about placement; restarting the chase from the
+		// primary would walk the same loop.
 		return false
 	}
 	// Transport failure: execution state unknown.

@@ -12,6 +12,7 @@
 //	sstar-load -patterns 4 -mix 1,3,6            # 4 structures; 10% fact / 30% refac / 60% solve
 //	sstar-load -addr ... -retries 4 -timeout 2s  # through sstar-chaos: retry + per-request deadline
 //	sstar-load -cluster 1,3                      # in-process cluster scaling bench (1 then 3 shards)
+//	sstar-load -churn                            # availability bench: kill/rejoin rounds, failover + repair latency
 //	sstar-load -tenants 3 -clients 8             # multi-tenant zipfian bench: coalescing + per-tenant QoS tails
 //
 // The report lands in -out (default BENCH_service.json). -cluster runs a
@@ -97,6 +98,8 @@ func main() {
 		retries  = flag.Int("retries", 0, "client retry attempts per request (0 disables; sheds and idempotent transport failures only)")
 		timeout  = flag.Duration("timeout", 0, "per-request deadline (0 = none; set this when the path can stall, e.g. behind sstar-chaos)")
 		clusterN = flag.String("cluster", "", "comma-separated shard counts for the in-process cluster scaling bench (e.g. 1,3); merges a cluster section into -out and exits")
+		churn    = flag.Bool("churn", false, "run the availability churn bench: kill the owner of a live structure mid-workload, measure failover-to-first-successful-solve and repair-to-R-copies; rejoin it, measure rejoin-to-converged; merges an availability section into -out and exits")
+		rounds   = flag.Int("rounds", 3, "kill/rejoin rounds in -churn mode")
 		cold     = flag.Bool("cold", false, "run the cold-analysis bench: zipfian near-miss structure churn against an in-process server plus a sequential/parallel/incremental analyze comparison; merges a cold_analysis section into -out and exits")
 		tenants  = flag.Int("tenants", 0, "run the multi-tenant bench with this many zipf-skewed solve tenants against an in-process server (coalescing off/on, then a weight-1 factorize storm); merges a multi_tenant section into -out and exits")
 		zipfS    = flag.Float64("zipf", 1.3, "zipf skew across tenants in -tenants mode (> 1; hotter head as it grows)")
@@ -108,6 +111,10 @@ func main() {
 
 	if *clusterN != "" {
 		runClusterBench(*clusterN, *clients, *duration, *patterns, *nx, *out)
+		return
+	}
+	if *churn {
+		runChurnBench(*rounds, *patterns, *nx, *out)
 		return
 	}
 	if *cold {
@@ -490,7 +497,7 @@ func benchFleet(n, clients int, duration time.Duration, patterns, nx int) cluste
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	_, _, failovers, scatters, _ := r.Stats()
+	rst := r.Stats()
 	var replications int64
 	for i := range servers {
 		replications += servers[i].Stats().Replications
@@ -500,8 +507,8 @@ func benchFleet(n, clients int, duration time.Duration, patterns, nx int) cluste
 		Requests:     requests,
 		Errors:       errs,
 		ElapsedS:     elapsed.Seconds(),
-		Failovers:    failovers,
-		Scatters:     scatters,
+		Failovers:    rst.Failovers,
+		Scatters:     rst.Scatters,
 		Replications: replications,
 	}
 	if elapsed > 0 {
@@ -585,4 +592,249 @@ func buildReport(samples []opSample, nerr int, elapsed time.Duration, st server.
 	rep.Cache.HitRate = st.HitRate()
 	rep.Server = st
 	return rep
+}
+
+// churnRound is one kill/rejoin availability measurement.
+type churnRound struct {
+	// FailoverMs: victim owner killed -> first successful solve of a
+	// structure it owned (client retry falls back to the router, which fails
+	// over to the replica). This is the user-visible outage.
+	FailoverMs float64 `json:"failover_ms"`
+	// RepairMs: kill -> survivors' manifests match ring placement again
+	// (replica promoted to owner, every key back at min(R, live) copies).
+	RepairMs float64 `json:"repair_ms"`
+	// RejoinConvergedMs: fresh member booted with -cluster-join on the dead
+	// member's address -> full fleet agrees on membership and placement is
+	// repaired (keys moved onto the rejoined member, strays dropped).
+	RejoinConvergedMs float64 `json:"rejoin_converged_ms"`
+}
+
+// churnBenchNode is one mutable fleet member of the availability bench.
+type churnBenchNode struct {
+	addr string
+	srv  *server.Server
+	sh   *cluster.Shard
+}
+
+// runChurnBench boots a 3-shard self-healing fleet behind a router, spreads
+// structures over it, then repeatedly kills the owner of a live structure
+// mid-workload and rejoins a fresh member on its address, recording the
+// availability timeline of each round into an "availability" section.
+func runChurnBench(rounds, patterns, nx int, outPath string) {
+	const (
+		shards    = 3
+		heartbeat = 50 * time.Millisecond
+		repair    = 200 * time.Millisecond
+	)
+	boot := func(addr string, peers []string, join string) *churnBenchNode {
+		l, err := net.Listen("tcp", addr)
+		if err != nil {
+			log.Fatalf("sstar-load: %v", err)
+		}
+		sh, err := cluster.NewShard(cluster.ShardConfig{
+			Self:              l.Addr().String(),
+			Peers:             peers,
+			Join:              join,
+			HeartbeatInterval: heartbeat,
+			RepairInterval:    repair,
+		})
+		if err != nil {
+			log.Fatalf("sstar-load: %v", err)
+		}
+		s := server.New(server.Config{Workers: 2, Cluster: sh})
+		sh.Bind(s)
+		go s.Serve(l)
+		return &churnBenchNode{addr: l.Addr().String(), srv: s, sh: sh}
+	}
+
+	listeners := make([]net.Listener, shards)
+	peers := make([]string, shards)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatalf("sstar-load: %v", err)
+		}
+		listeners[i] = l
+		peers[i] = l.Addr().String()
+	}
+	nodes := make(map[string]*churnBenchNode, shards)
+	for i := range listeners {
+		sh, err := cluster.NewShard(cluster.ShardConfig{
+			Self:              peers[i],
+			Peers:             peers,
+			HeartbeatInterval: heartbeat,
+			RepairInterval:    repair,
+		})
+		if err != nil {
+			log.Fatalf("sstar-load: %v", err)
+		}
+		s := server.New(server.Config{Workers: 2, Cluster: sh})
+		sh.Bind(s)
+		go s.Serve(listeners[i])
+		nodes[peers[i]] = &churnBenchNode{addr: peers[i], srv: s, sh: sh}
+	}
+	r, err := cluster.NewRouter(cluster.RouterConfig{Shards: peers})
+	if err != nil {
+		log.Fatalf("sstar-load: %v", err)
+	}
+	rl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("sstar-load: %v", err)
+	}
+	go r.Serve(rl)
+	defer func() {
+		r.Close()
+		for _, n := range nodes {
+			n.srv.Close()
+			n.sh.Close()
+		}
+	}()
+
+	liveShards := func() []*cluster.Shard {
+		out := make([]*cluster.Shard, 0, len(nodes))
+		for _, n := range nodes {
+			out = append(out, n.sh)
+		}
+		return out
+	}
+	anyLive := func() *churnBenchNode {
+		for _, n := range nodes {
+			return n
+		}
+		log.Fatal("sstar-load: no live members")
+		return nil
+	}
+	waitUntil := func(what string, cond func() bool) time.Duration {
+		start := time.Now()
+		deadline := start.Add(30 * time.Second)
+		for time.Now().Before(deadline) {
+			if cond() {
+				return time.Since(start)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		log.Fatalf("sstar-load: timed out waiting for %s", what)
+		return 0
+	}
+	converged := func(want int) bool {
+		shs := liveShards()
+		for _, sh := range shs {
+			if len(sh.Members()) != want {
+				return false
+			}
+		}
+		return len(cluster.PlacementViolations(shs)) == 0
+	}
+
+	c, err := client.Dial("tcp", rl.Addr().String(), client.WithRetry(client.DefaultRetryPolicy()))
+	if err != nil {
+		log.Fatalf("sstar-load: %v", err)
+	}
+	defer c.Close()
+	if patterns < 2 {
+		patterns = 2
+	}
+	handles := make([]*client.Handle, patterns)
+	rhs := make([][]float64, patterns)
+	for p := range handles {
+		a := sstar.GenGrid2D(nx+p, nx, p%2 == 1, sstar.GenOptions{Seed: int64(p + 1), Convection: 0.2})
+		h, _, err := c.Factorize(context.Background(), a, sstar.DefaultOptions())
+		if err != nil {
+			log.Fatalf("sstar-load: factorize %d: %v", p, err)
+		}
+		handles[p] = h
+		rhs[p] = make([]float64, a.N)
+		for i := range rhs[p] {
+			rhs[p][i] = 1 + float64(i%7)
+		}
+	}
+	waitUntil("initial replication", func() bool { return converged(shards) })
+
+	solveRetrying := func(p int) time.Duration {
+		start := time.Now()
+		deadline := start.Add(30 * time.Second)
+		for time.Now().Before(deadline) {
+			if _, _, err := handles[p].Solve(context.Background(), rhs[p]); err == nil {
+				return time.Since(start)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		log.Fatalf("sstar-load: solve %d never recovered", p)
+		return 0
+	}
+
+	var results []churnRound
+	for round := 0; round < rounds; round++ {
+		// A light background workload so the kill lands mid-traffic.
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					solveRetrying(1 % patterns)
+				}
+			}
+		}()
+
+		victim := anyLive().sh.Owner(handles[0].Key())
+		n := nodes[victim]
+		if n == nil {
+			log.Fatalf("sstar-load: owner %s of the hot structure is not live", victim)
+		}
+		delete(nodes, victim)
+		n.srv.Close()
+		n.sh.Close()
+		failover := solveRetrying(0)
+		repairD := waitUntil("post-kill repair", func() bool { return converged(shards - 1) })
+
+		rejoinStart := time.Now()
+		nodes[victim] = boot(victim, nil, anyLive().addr)
+		waitUntil("rejoin convergence", func() bool { return converged(shards) })
+		rejoinD := time.Since(rejoinStart)
+
+		close(stop)
+		wg.Wait()
+		// repairD was measured from when the wait began (after the failover
+		// solve), so the kill-relative figure adds the failover window.
+		rr := churnRound{
+			FailoverMs:        float64(failover.Microseconds()) / 1e3,
+			RepairMs:          float64((failover + repairD).Microseconds()) / 1e3,
+			RejoinConvergedMs: float64(rejoinD.Microseconds()) / 1e3,
+		}
+		results = append(results, rr)
+		log.Printf("sstar-load: churn round %d: failover %.1fms, repair %.1fms, rejoin-converged %.1fms",
+			round, rr.FailoverMs, rr.RepairMs, rr.RejoinConvergedMs)
+	}
+
+	section := map[string]any{
+		"config": map[string]any{
+			"shards":    shards,
+			"rounds":    rounds,
+			"patterns":  patterns,
+			"nx":        nx,
+			"heartbeat": heartbeat.String(),
+			"repair":    repair.String(),
+		},
+		"rounds_data": results,
+		"note":        "in-process fleet; failover_ms is kill -> first successful solve of a structure the victim owned, repair_ms is kill -> survivors' manifests match placement (replica promoted, R restored), rejoin_converged_ms is join -> full-fleet agreement with empty manifest diff",
+	}
+	doc := map[string]any{}
+	if data, err := os.ReadFile(outPath); err == nil {
+		json.Unmarshal(data, &doc)
+	}
+	doc["availability"] = section
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatalf("sstar-load: %v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		log.Fatalf("sstar-load: %v", err)
+	}
+	log.Printf("sstar-load: availability section merged into %s", outPath)
 }

@@ -22,12 +22,14 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 
 	"sstar/internal/cluster"
+	"sstar/internal/obs"
 )
 
 func main() {
@@ -36,6 +38,7 @@ func main() {
 		shards   = flag.String("shards", "", "comma-separated shard addresses (required)")
 		vnodes   = flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per shard on the placement ring (must match the shards)")
 		replicas = flag.Int("replicas", 2, "copies per structure including the owner (must match the shards)")
+		admin    = flag.String("admin", "", "HTTP admin listen address (/metrics); empty disables")
 		quiet    = flag.Bool("quiet", false, "suppress per-event logging")
 	)
 	flag.Parse()
@@ -58,6 +61,27 @@ func main() {
 		log.Fatalf("sstar-router: %v", err)
 	}
 
+	if *admin != "" {
+		reg := obs.NewRegistry()
+		r.Bind(reg)
+		al, err := net.Listen("tcp", *admin)
+		if err != nil {
+			log.Fatalf("sstar-router: admin listener: %v", err)
+		}
+		defer al.Close()
+		log.Printf("sstar-router: admin HTTP on %s (/metrics)", al.Addr())
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			reg.WritePrometheus(w)
+		})
+		go func() {
+			if err := http.Serve(al, mux); err != nil {
+				log.Printf("sstar-router: admin listener: %v", err)
+			}
+		}()
+	}
+
 	l, err := net.Listen("tcp", *tcpAddr)
 	if err != nil {
 		log.Fatalf("sstar-router: %v", err)
@@ -78,7 +102,7 @@ func main() {
 		log.Printf("sstar-router: %v, shutting down", got)
 	}
 	r.Close()
-	requests, errs, failovers, scatters, redirects := r.Stats()
-	log.Printf("sstar-router: routed %d requests (%d errors), %d failovers, %d scatters, %d redirects followed",
-		requests, errs, failovers, scatters, redirects)
+	st := r.Stats()
+	log.Printf("sstar-router: routed %d requests (%d errors), %d failovers, %d scatters, %d redirects followed, %d ambiguous, %d ring refreshes (epoch %d)",
+		st.Requests, st.Errors, st.Failovers, st.Scatters, st.Redirects, st.Ambiguous, st.RingRefreshes, st.Epoch)
 }

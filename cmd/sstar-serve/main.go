@@ -90,8 +90,11 @@ func main() {
 
 		clusterSelf  = flag.String("cluster-self", "", "this shard's advertised address; enables cluster mode")
 		clusterPeers = flag.String("cluster-peers", "", "comma-separated advertised addresses of every shard (including self)")
+		clusterJoin  = flag.String("cluster-join", "", "address of any live cluster member to join through (dynamic membership; needs -cluster-self)")
 		vnodes       = flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per shard on the placement ring")
 		replicas     = flag.Int("replicas", 2, "copies per structure including the owner")
+		heartbeat    = flag.Duration("heartbeat", 0, "peer heartbeat interval; 0 = default (250ms), negative disables the failure detector")
+		repairEvery  = flag.Duration("repair-interval", 0, "anti-entropy repair sweep interval; 0 = default (2s), negative disables the periodic sweep")
 	)
 	flag.Parse()
 	if *autotune {
@@ -124,13 +127,25 @@ func main() {
 	if !*quiet {
 		cfg.Logf = log.Printf
 	}
+	if *clusterJoin != "" && *clusterSelf == "" {
+		log.Fatalf("sstar-serve: -cluster-join needs -cluster-self (the address this shard advertises)")
+	}
 	var shard *cluster.Shard
 	if *clusterSelf != "" {
+		var peers []string
+		for _, p := range strings.Split(*clusterPeers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, p)
+			}
+		}
 		shardCfg := cluster.ShardConfig{
-			Self:     *clusterSelf,
-			Peers:    strings.Split(*clusterPeers, ","),
-			VNodes:   *vnodes,
-			Replicas: *replicas,
+			Self:              *clusterSelf,
+			Peers:             peers,
+			Join:              *clusterJoin,
+			VNodes:            *vnodes,
+			Replicas:          *replicas,
+			HeartbeatInterval: *heartbeat,
+			RepairInterval:    *repairEvery,
 		}
 		if !*quiet {
 			shardCfg.Logf = log.Printf
@@ -141,7 +156,11 @@ func main() {
 			log.Fatalf("sstar-serve: %v", err)
 		}
 		cfg.Cluster = shard
-		log.Printf("sstar-serve: cluster shard %s of %d peers (vnodes=%d replicas=%d)", *clusterSelf, len(shardCfg.Peers), *vnodes, *replicas)
+		if *clusterJoin != "" {
+			log.Printf("sstar-serve: cluster shard %s joining via %s (vnodes=%d replicas=%d)", *clusterSelf, *clusterJoin, *vnodes, *replicas)
+		} else {
+			log.Printf("sstar-serve: cluster shard %s of %d peers (vnodes=%d replicas=%d)", *clusterSelf, len(peers), *vnodes, *replicas)
+		}
 	}
 	s := server.New(cfg)
 	if shard != nil {
@@ -189,6 +208,11 @@ func main() {
 		}
 	case got := <-sig:
 		log.Printf("sstar-serve: %v, shutting down", got)
+	}
+	if shard != nil {
+		// Announce the departure first, so peers bump the epoch and route
+		// around this shard instead of waiting for the failure detector.
+		shard.Leave()
 	}
 	s.Close()
 	if shard != nil {

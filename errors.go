@@ -60,4 +60,22 @@ var (
 	// executed; the response names the owning shard when the request
 	// carried a structure key.
 	ErrNotOwner = errors.New("sstar: handle owned by another shard")
+
+	// ErrAmbiguous reports a non-idempotent operation (factorize, free)
+	// whose request was delivered but whose outcome is unknown: the
+	// connection died between delivery and response. The operation may or
+	// may not have executed — blind retry could double-execute, so the
+	// router surfaces this typed class instead of guessing. Callers decide
+	// with operation-specific knowledge (a factorize can be re-sent and the
+	// server coalesces duplicates by structure key; a free can be verified
+	// with a cheap solve probe).
+	ErrAmbiguous = errors.New("sstar: ambiguous failure, operation may have executed")
+
+	// ErrRedirectLoop reports a request whose cluster redirects never
+	// terminated: shards kept naming each other as owner past the client's
+	// hop budget. This is a placement disagreement — typically a membership
+	// change mid-flight, or a misconfigured fleet (mismatched vnodes) — not
+	// a data error. The client error type (client.RedirectLoopError) carries
+	// the hop chain for diagnosis.
+	ErrRedirectLoop = errors.New("sstar: redirect loop")
 )

@@ -212,9 +212,10 @@ type Proxy struct {
 	dial func() (net.Conn, error)
 	cfg  Config
 
-	seq    atomic.Int64
-	closed atomic.Bool
-	wg     sync.WaitGroup
+	seq         atomic.Int64
+	closed      atomic.Bool
+	partitioned atomic.Bool
+	wg          sync.WaitGroup
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
@@ -239,6 +240,14 @@ func (p *Proxy) Serve() error {
 				return nil
 			}
 			return err
+		}
+		if p.partitioned.Load() {
+			// Partition injection: the endpoint behind this proxy is
+			// unreachable — accepted connections die immediately, exactly
+			// like a network partition (the peer is alive, packets are not
+			// getting through).
+			conn.Close()
+			continue
 		}
 		up, err := p.dial()
 		if err != nil {
@@ -271,6 +280,23 @@ func (p *Proxy) pipe(dst, src net.Conn) {
 	p.mu.Lock()
 	delete(p.conns, dst)
 	delete(p.conns, src)
+	p.mu.Unlock()
+}
+
+// SetPartitioned toggles partition injection: while true, new connections
+// through the proxy are torn down on accept and every established relay is
+// severed, so the endpoint behind the proxy looks unreachable while staying
+// alive. Healing (false) lets new connections flow again — established
+// connections stay dead, as after a real partition.
+func (p *Proxy) SetPartitioned(on bool) {
+	p.partitioned.Store(on)
+	if !on {
+		return
+	}
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
 	p.mu.Unlock()
 }
 

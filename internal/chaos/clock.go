@@ -1,0 +1,49 @@
+package chaos
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts "now" for components whose behavior is a function of
+// elapsed time — the cluster failure detector above all. Production code
+// uses RealClock; tests drive a FakeClock by hand, so suspect/dead
+// transitions happen at exact, reproducible instants instead of depending on
+// scheduler timing.
+type Clock interface {
+	Now() time.Time
+}
+
+// RealClock is the wall clock.
+type RealClock struct{}
+
+// Now returns time.Now().
+func (RealClock) Now() time.Time { return time.Now() }
+
+// FakeClock is a manually advanced clock for deterministic tests. The zero
+// value starts at the zero time; NewFakeClock picks an arbitrary non-zero
+// base so code comparing against the zero time behaves as in production.
+type FakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewFakeClock returns a FakeClock starting at a fixed non-zero instant.
+func NewFakeClock() *FakeClock {
+	return &FakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+// Now returns the fake instant.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Advance moves the clock forward by d and returns the new instant.
+func (c *FakeClock) Advance(d time.Duration) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+	return c.t
+}

@@ -1,0 +1,136 @@
+package chaos_test
+
+// Clock and partition tests: the fake clock must be exactly manual (no wall
+// time leaks in), and SetPartitioned must sever established connections and
+// refuse new ones until healed — the primitive the self-healing e2e tests
+// build their network splits from.
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"sstar/internal/chaos"
+)
+
+func TestFakeClockIsManual(t *testing.T) {
+	clk := chaos.NewFakeClock()
+	base := clk.Now()
+	if base.IsZero() {
+		t.Fatal("NewFakeClock started at the zero time; code comparing against time.Time{} would misbehave")
+	}
+	if again := clk.Now(); !again.Equal(base) {
+		t.Fatalf("Now drifted without Advance: %v -> %v", base, again)
+	}
+	at := clk.Advance(250 * time.Millisecond)
+	if want := base.Add(250 * time.Millisecond); !at.Equal(want) {
+		t.Fatalf("Advance returned %v, want %v", at, want)
+	}
+	if now := clk.Now(); !now.Equal(at) {
+		t.Fatalf("Now after Advance = %v, want %v", now, at)
+	}
+	// Advances accumulate.
+	clk.Advance(time.Second)
+	if want := base.Add(1250 * time.Millisecond); !clk.Now().Equal(want) {
+		t.Fatalf("accumulated Now = %v, want %v", clk.Now(), want)
+	}
+}
+
+func TestRealClockTracksWallTime(t *testing.T) {
+	before := time.Now()
+	got := chaos.RealClock{}.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("RealClock.Now() = %v outside [%v, %v]", got, before, after)
+	}
+}
+
+// TestProxyPartition: a partitioned proxy kills established connections and
+// rejects new ones; clearing the partition lets fresh connections relay
+// again.
+func TestProxyPartition(t *testing.T) {
+	up, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer up.Close()
+	go func() {
+		for {
+			c, err := up.Accept()
+			if err != nil {
+				return
+			}
+			go func() { io.Copy(c, c); c.Close() }()
+		}
+	}()
+	pl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dial := func() (net.Conn, error) {
+		return net.DialTimeout("tcp", up.Addr().String(), time.Second)
+	}
+	p := chaos.NewProxy(pl, dial, chaos.Config{Seed: 11})
+	go p.Serve()
+	defer p.Close()
+
+	echo := func(c net.Conn, msg string) (string, error) {
+		c.SetDeadline(time.Now().Add(2 * time.Second))
+		if _, err := c.Write([]byte(msg)); err != nil {
+			return "", err
+		}
+		buf := make([]byte, len(msg))
+		if _, err := io.ReadFull(c, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+
+	// A long-lived connection works before the partition...
+	held, err := net.DialTimeout("tcp", p.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer held.Close()
+	if got, err := echo(held, "before"); err != nil || got != "before" {
+		t.Fatalf("echo before partition: %q, %v", got, err)
+	}
+
+	p.SetPartitioned(true)
+
+	// ...and is severed by it: the next read fails instead of hanging.
+	held.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := held.Write([]byte("x")); err == nil {
+		buf := make([]byte, 1)
+		if _, err := io.ReadFull(held, buf); err == nil {
+			t.Fatal("established connection survived the partition")
+		}
+	}
+
+	// New connections die without relaying.
+	if c, err := net.DialTimeout("tcp", p.Addr().String(), time.Second); err == nil {
+		if got, err := echo(c, "during"); err == nil && got == "during" {
+			t.Fatal("echo relayed through a partitioned proxy")
+		}
+		c.Close()
+	}
+
+	// Healing restores service for fresh connections.
+	p.SetPartitioned(false)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c, err := net.DialTimeout("tcp", p.Addr().String(), time.Second)
+		if err == nil {
+			got, err := echo(c, "healed")
+			c.Close()
+			if err == nil && got == "healed" {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("proxy never recovered after the partition was cleared")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,351 @@
+package cluster
+
+// Churn property test: after ANY sequence of joins, leaves, and kills, the
+// fleet must converge back to a state where the per-shard manifests exactly
+// match ring placement — every structure on its min(R, live) responsible
+// shards, owner position marked owner, no strays, no stale copies — and
+// every solve still answers bit-identically to the local reference. The
+// convergence predicate is PlacementViolations, the same one the chaos e2e
+// and the availability bench use.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"sstar"
+	"sstar/client"
+	"sstar/internal/server"
+)
+
+// Fast self-healing cadences for tests: death after ~8 missed 30ms
+// heartbeats, repair sweeps several times a second.
+const (
+	testHeartbeat = 30 * time.Millisecond
+	testRepair    = 120 * time.Millisecond
+)
+
+// churnNode is one dynamically managed fleet member.
+type churnNode struct {
+	addr string
+	srv  *server.Server
+	sh   *Shard
+}
+
+// churnFleet is a fleet whose membership the test mutates.
+type churnFleet struct {
+	t     *testing.T
+	nodes map[string]*churnNode // live members by advertised address
+	seed  string                // a boot member used as join contact
+}
+
+func (cf *churnFleet) bootNode(addr string, peers []string, join string) *churnNode {
+	cf.t.Helper()
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		cf.t.Fatal(err)
+	}
+	self := l.Addr().String()
+	sh, err := NewShard(ShardConfig{
+		Self:              self,
+		Peers:             peers,
+		Join:              join,
+		HeartbeatInterval: testHeartbeat,
+		RepairInterval:    testRepair,
+	})
+	if err != nil {
+		cf.t.Fatal(err)
+	}
+	s := server.New(server.Config{Workers: 2, FactorWorkers: 2, Cluster: sh})
+	sh.Bind(s)
+	go s.Serve(l)
+	n := &churnNode{addr: self, srv: s, sh: sh}
+	cf.nodes[self] = n
+	return n
+}
+
+// startChurnFleet boots n static members with fast self-healing cadences.
+func startChurnFleet(t *testing.T, n int) *churnFleet {
+	t.Helper()
+	cf := &churnFleet{t: t, nodes: make(map[string]*churnNode)}
+	ls := make([]net.Listener, n)
+	peers := make([]string, n)
+	for i := range ls {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ls[i] = l
+		peers[i] = l.Addr().String()
+	}
+	for i := range ls {
+		sh, err := NewShard(ShardConfig{
+			Self:              peers[i],
+			Peers:             peers,
+			HeartbeatInterval: testHeartbeat,
+			RepairInterval:    testRepair,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := server.New(server.Config{Workers: 2, FactorWorkers: 2, Cluster: sh})
+		sh.Bind(s)
+		go s.Serve(ls[i])
+		cf.nodes[peers[i]] = &churnNode{addr: peers[i], srv: s, sh: sh}
+	}
+	cf.seed = peers[0]
+	t.Cleanup(func() {
+		for _, n := range cf.nodes {
+			n.srv.Close()
+			n.sh.Close()
+		}
+	})
+	return cf
+}
+
+// join boots a brand-new member that discovers the fleet through one live
+// contact address, and returns its advertised address.
+func (cf *churnFleet) join() string {
+	cf.t.Helper()
+	contact := cf.anyLive()
+	n := cf.bootNode("127.0.0.1:0", nil, contact)
+	return n.addr
+}
+
+// kill is a crash: the member's server and shard stop answering with no
+// goodbye. The survivors' failure detectors must notice.
+func (cf *churnFleet) kill(addr string) {
+	cf.t.Helper()
+	n := cf.nodes[addr]
+	if n == nil {
+		cf.t.Fatalf("kill(%s): not a live member", addr)
+	}
+	delete(cf.nodes, addr)
+	n.srv.Close()
+	n.sh.Close()
+}
+
+// leave is a graceful departure: the member announces it, then stops.
+func (cf *churnFleet) leave(addr string) {
+	cf.t.Helper()
+	n := cf.nodes[addr]
+	if n == nil {
+		cf.t.Fatalf("leave(%s): not a live member", addr)
+	}
+	delete(cf.nodes, addr)
+	n.sh.Leave()
+	n.srv.Close()
+	n.sh.Close()
+}
+
+// rejoin boots a fresh member on a previously killed member's address — the
+// restart scenario. The new process remembers nothing.
+func (cf *churnFleet) rejoin(addr string) {
+	cf.t.Helper()
+	cf.bootNode(addr, nil, cf.anyLive())
+}
+
+func (cf *churnFleet) anyLive() string {
+	cf.t.Helper()
+	if n, ok := cf.nodes[cf.seed]; ok {
+		return n.addr
+	}
+	for _, n := range cf.nodes {
+		return n.addr
+	}
+	cf.t.Fatal("no live members")
+	return ""
+}
+
+func (cf *churnFleet) liveShards() []*Shard {
+	out := make([]*Shard, 0, len(cf.nodes))
+	for _, n := range cf.nodes {
+		out = append(out, n.sh)
+	}
+	return out
+}
+
+func (cf *churnFleet) liveAddrs() []string {
+	out := make([]string, 0, len(cf.nodes))
+	for a := range cf.nodes {
+		out = append(out, a)
+	}
+	return out
+}
+
+// waitConverged waits until every live member agrees on the live member set
+// and the manifests match ring placement exactly.
+func (cf *churnFleet) waitConverged(what string) {
+	cf.t.Helper()
+	want := cf.liveAddrs()
+	waitFor(cf.t, what+": membership agreement", func() bool {
+		var epoch uint64
+		for i, sh := range cf.liveShards() {
+			e, members := sh.ring.View()
+			if !sameMembers(members, want) {
+				return false
+			}
+			if i == 0 {
+				epoch = e
+			} else if e != epoch {
+				return false
+			}
+		}
+		return true
+	})
+	var lastViol []string
+	waitForOr(cf.t, what+": placement repair", func() bool {
+		lastViol = PlacementViolations(cf.liveShards())
+		return len(lastViol) == 0
+	}, func() {
+		for _, v := range lastViol {
+			cf.t.Logf("violation: %s", v)
+		}
+	})
+}
+
+// waitForOr is waitFor with a diagnostic callback on timeout.
+func waitForOr(t *testing.T, what string, cond func() bool, diag func()) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if diag != nil {
+		diag()
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestChurnConvergence is the property test: boot a fleet, spread a handful
+// of factorizations over it, apply a churn sequence, and require exact
+// convergence (empty manifest diff, every key at min(R, live) copies) plus
+// bit-identical solves afterwards.
+func TestChurnConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn property test takes seconds")
+	}
+	cases := []struct {
+		name string
+		boot int
+		ops  []string // join | leave | kill | rejoin (of the last killed)
+	}{
+		{"join-one", 2, []string{"join"}},
+		{"kill-one", 3, []string{"kill"}},
+		{"graceful-leave", 3, []string{"leave"}},
+		{"kill-then-rejoin", 3, []string{"kill", "rejoin"}},
+		{"join-then-kill", 3, []string{"join", "kill"}},
+		{"grow-two-shrink-one", 2, []string{"join", "join", "leave"}},
+		{"double-churn", 5, []string{"kill", "join"}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			cf := startChurnFleet(t, tc.boot)
+			cf.waitConverged("boot")
+
+			// Spread structures over the fleet through one member (redirects
+			// land them on their owners). Retries let handle ops fall back to
+			// this primary when the shard a handle prefers has been killed.
+			c, err := client.Dial("tcp", cf.seed, client.WithRetry(client.DefaultRetryPolicy()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			systems := make([]*testSystem, 4)
+			handles := make([]*client.Handle, len(systems))
+			for i := range systems {
+				systems[i] = buildSystem(t, 20+i)
+				h, _, err := c.Factorize(context.Background(), systems[i].a, sstar.DefaultOptions())
+				if err != nil {
+					t.Fatalf("factorize %d: %v", i, err)
+				}
+				handles[i] = h
+			}
+			cf.waitConverged("after factorize")
+
+			// The churn sequence. A kill victim is always a current owner of
+			// system 0's key — the interesting member to lose.
+			var lastKilled string
+			for _, op := range tc.ops {
+				switch op {
+				case "join":
+					cf.join()
+				case "kill":
+					// Kill a current holder of system 0's key — the owner,
+					// or its replica when the owner is the client's primary
+					// (the test needs its one configured door to stay open).
+					victim := cf.ownerOf(handles[0].Key())
+					if victim == cf.seed {
+						reps := cf.liveShards()[0].ring.Replicas(handles[0].Key(), 2)
+						if len(reps) < 2 {
+							t.Fatal("no replica to kill instead of the seed")
+						}
+						victim = reps[1]
+					}
+					lastKilled = victim
+					cf.kill(victim)
+				case "leave":
+					// Leave a non-seed member so the client keeps its door.
+					for _, a := range cf.liveAddrs() {
+						if a != cf.seed {
+							cf.leave(a)
+							break
+						}
+					}
+				case "rejoin":
+					cf.rejoin(lastKilled)
+				default:
+					t.Fatalf("unknown op %q", op)
+				}
+				cf.waitConverged("after " + op)
+			}
+
+			// Exactly min(R, live) copies of every key, verified by the same
+			// predicate that just converged; now the answers must still be
+			// the owner's bits.
+			for i, sys := range systems {
+				got, err := solveRetrying(handles[i], sys.b)
+				if err != nil {
+					t.Fatalf("post-churn solve %d: %v", i, err)
+				}
+				if !bitIdentical(got, sys.xref) {
+					t.Errorf("post-churn solve %d differs bitwise from the reference", i)
+				}
+			}
+		})
+	}
+}
+
+// ownerOf maps a structure key to the live member owning it.
+func (cf *churnFleet) ownerOf(key uint64) string {
+	cf.t.Helper()
+	owner := cf.liveShards()[0].ring.Owner(key)
+	if _, ok := cf.nodes[owner]; !ok {
+		cf.t.Fatalf("owner %s of key %#x is not live", owner, key)
+	}
+	return owner
+}
+
+// solveRetrying solves through the handle's own client, retrying across the
+// transient refusals churn leaves behind (the handle may live on a different
+// member now; the key hint lets any member name the current owner).
+func solveRetrying(h *client.Handle, b []float64) ([]float64, error) {
+	var lastErr error
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		got, _, err := h.Solve(context.Background(), b)
+		if err == nil {
+			return got, nil
+		}
+		lastErr = err
+		time.Sleep(20 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("never succeeded: %w", lastErr)
+}

@@ -255,8 +255,8 @@ func TestFailoverNoRefactorize(t *testing.T) {
 		t.Errorf("failover triggered new factorizations: factorizes %d->%d, refactorizes %d->%d",
 			facBefore, facAfter, refacBefore, refacAfter)
 	}
-	if _, _, failovers, _, _ := fleet.router.Stats(); failovers < 1 {
-		t.Errorf("router failovers = %d, want >= 1", failovers)
+	if st := fleet.router.Stats(); st.Failovers < 1 {
+		t.Errorf("router failovers = %d, want >= 1", st.Failovers)
 	}
 }
 
@@ -295,8 +295,8 @@ func TestScatterSolveMany(t *testing.T) {
 	if !bitIdentical(x, want) {
 		t.Error("scattered SolveMany differs bitwise from single-node SolveMany")
 	}
-	if _, _, _, scatters, _ := fleet.router.Stats(); scatters < 1 {
-		t.Errorf("router scatters = %d, want >= 1 (panel was not scattered)", scatters)
+	if st := fleet.router.Stats(); st.Scatters < 1 {
+		t.Errorf("router scatters = %d, want >= 1 (panel was not scattered)", st.Scatters)
 	}
 
 	// A narrow panel must not scatter but still answer identically.

@@ -239,7 +239,7 @@ func TestClusterChaosFailover(t *testing.T) {
 		t.Errorf("failover refactorized: survivors' factorizes %d->%d, refactorizes %d->%d",
 			facBefore, facAfter, refacBefore, refacAfter)
 	}
-	if _, _, failovers, _, _ := router.Stats(); failovers < 1 {
-		t.Errorf("router failovers = %d, want >= 1 after killing an owner", failovers)
+	if st := router.Stats(); st.Failovers < 1 {
+		t.Errorf("router failovers = %d, want >= 1 after killing an owner", st.Failovers)
 	}
 }

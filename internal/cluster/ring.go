@@ -51,6 +51,7 @@ type Ring struct {
 	vnodes int
 
 	mu      sync.RWMutex
+	epoch   uint64 // membership epoch: bumped on every membership change
 	members map[string]struct{}
 	points  []point // sorted by hash
 }
@@ -131,6 +132,67 @@ func (r *Ring) Remove(member string) {
 		}
 	}
 	r.points = kept
+}
+
+// Epoch returns the membership epoch: a counter bumped on every membership
+// change, the version number routers and shards compare to detect a stale
+// ring view. Static fleets (Add at boot, no dynamic membership) keep the
+// epoch the constructor left.
+func (r *Ring) Epoch() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.epoch
+}
+
+// SetEpoch sets the epoch without changing membership — boot-time
+// initialization (a static fleet starts at 1, a joiner at 0 so any
+// established view wins the merge).
+func (r *Ring) SetEpoch(e uint64) {
+	r.mu.Lock()
+	r.epoch = e
+	r.mu.Unlock()
+}
+
+// View atomically snapshots the epoch and the sorted member list — the pair
+// one OpMembership exchange carries.
+func (r *Ring) View() (epoch uint64, members []string) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	members = make([]string, 0, len(r.members))
+	for m := range r.members {
+		members = append(members, m)
+	}
+	sort.Strings(members)
+	return r.epoch, members
+}
+
+// Replace installs a whole membership view (members, epoch) atomically,
+// rebuilding the point list. Used when a merge adopts a newer view; Add and
+// Remove stay the boot-time primitives.
+func (r *Ring) Replace(members []string, epoch uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.epoch = epoch
+	r.members = make(map[string]struct{}, len(members))
+	r.points = r.points[:0]
+	for _, m := range members {
+		if _, ok := r.members[m]; ok {
+			continue
+		}
+		r.members[m] = struct{}{}
+		for i := 0; i < r.vnodes*pointsPerVNode; i++ {
+			r.points = append(r.points, point{hash: pointHash(m, i), member: m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// Contains reports whether member is on the ring.
+func (r *Ring) Contains(member string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.members[member]
+	return ok
 }
 
 // Members returns the current membership, sorted for determinism.

@@ -171,3 +171,62 @@ func TestRingReplicasDistinct(t *testing.T) {
 		t.Fatal("empty ring must place nothing")
 	}
 }
+
+// TestRingEpochView: epochs ride on the ring; View snapshots (epoch, sorted
+// members) atomically and Replace installs a whole view at once.
+func TestRingEpochView(t *testing.T) {
+	r := NewRing(16)
+	if e := r.Epoch(); e != 0 {
+		t.Fatalf("fresh ring epoch = %d, want 0", e)
+	}
+	for _, a := range shardAddrs(3) {
+		r.Add(a)
+	}
+	r.SetEpoch(7)
+	e, members := r.View()
+	if e != 7 {
+		t.Fatalf("View epoch = %d, want 7", e)
+	}
+	if len(members) != 3 {
+		t.Fatalf("View members = %v, want 3 addresses", members)
+	}
+	for i := 1; i < len(members); i++ {
+		if members[i-1] >= members[i] {
+			t.Fatalf("View members not sorted: %v", members)
+		}
+	}
+	if !r.Contains(members[0]) {
+		t.Fatalf("Contains(%s) = false for a listed member", members[0])
+	}
+	if r.Contains("10.9.9.9:1") {
+		t.Fatal("Contains reported a member never added")
+	}
+}
+
+// TestRingReplaceInstallsView: Replace swaps members and epoch together,
+// rebuilds placement points (same placement as incremental Adds would give),
+// and dedups repeated members.
+func TestRingReplaceInstallsView(t *testing.T) {
+	incremental := NewRing(32)
+	for _, a := range shardAddrs(4) {
+		incremental.Add(a)
+	}
+	replaced := NewRing(32)
+	replaced.Add("10.99.0.1:7071") // pre-existing member Replace must evict
+	dup := append(shardAddrs(4), shardAddrs(4)[0])
+	replaced.Replace(dup, 9)
+	if e := replaced.Epoch(); e != 9 {
+		t.Fatalf("epoch after Replace = %d, want 9", e)
+	}
+	if replaced.Contains("10.99.0.1:7071") {
+		t.Fatal("Replace kept a member not in the installed view")
+	}
+	if got := replaced.Size(); got != 4 {
+		t.Fatalf("Size after Replace with a duplicate = %d, want 4 (deduped)", got)
+	}
+	for _, k := range ringKeys(512) {
+		if a, b := incremental.Owner(k), replaced.Owner(k); a != b {
+			t.Fatalf("Replace placement diverges from incremental Adds for key %#x: %s vs %s", k, a, b)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"sstar"
+	"sstar/internal/obs"
 	"sstar/internal/server"
 	"sstar/internal/wire"
 )
@@ -57,6 +58,12 @@ type Router struct {
 	failovers atomic.Int64
 	scatters  atomic.Int64
 	redirects atomic.Int64
+	ambiguous atomic.Int64
+	refreshes atomic.Int64
+
+	// refreshMu serializes ring refreshes so a burst of stale-epoch answers
+	// costs one membership exchange, not one per request.
+	refreshMu sync.Mutex
 }
 
 // NewRouter builds a router over the given fleet.
@@ -70,13 +77,16 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	if cfg.Replicas < 2 {
 		cfg.Replicas = 2
 	}
-	if cfg.Replicas > len(cfg.Shards) {
-		cfg.Replicas = len(cfg.Shards)
-	}
+	// Replicas is deliberately NOT clamped to len(Shards): the configured
+	// shards are only the seed view, and a fleet reached through one seed
+	// address can grow past it (ring.Replicas clamps per call).
 	ring := NewRing(cfg.VNodes)
 	for _, s := range cfg.Shards {
 		ring.Add(s)
 	}
+	// Matches the shards' boot epoch, so a static fleet never looks newer
+	// than the router's seed view.
+	ring.SetEpoch(1)
 	return &Router{
 		cfg:       cfg,
 		ring:      ring,
@@ -177,10 +187,9 @@ func (r *Router) handleConn(conn net.Conn) {
 		}
 		resp := r.handle(req)
 		if resp == nil {
-			// Ambiguous failure of a non-idempotent op: the router cannot
-			// truthfully answer "executed" or "not executed", so it does
-			// what a dying server would — drop the connection and let the
-			// client's own idempotency rules decide what to retry.
+			// Defensive: handle never returns nil anymore (ambiguous
+			// failures are answered in-band with CodeAmbiguous), but a nil
+			// response must still not be gobbed onto the wire.
 			return
 		}
 		if err := wire.WriteGob(conn, server.FrameResponse, resp); err != nil {
@@ -197,8 +206,7 @@ func (r *Router) keyOf(handle uint64) uint64 {
 	return r.place[handle]
 }
 
-// handle routes one request. A nil response means an ambiguous non-idempotent
-// failure; the caller drops the client connection.
+// handle routes one request.
 func (r *Router) handle(req *server.Request) *server.Response {
 	r.requests.Add(1)
 	var resp *server.Response
@@ -212,7 +220,7 @@ func (r *Router) handle(req *server.Request) *server.Response {
 			return &server.Response{Err: "cluster: factorize needs a matrix"}
 		}
 		key := sstar.StructureKey(req.Matrix, req.Opts)
-		resp = r.forward(req, r.ring.Replicas(key, r.cfg.Replicas))
+		resp = r.forward(req, key)
 		if resp != nil && resp.Err == "" {
 			r.placeMu.Lock()
 			r.place[resp.Handle] = resp.Key
@@ -229,18 +237,11 @@ func (r *Router) handle(req *server.Request) *server.Response {
 			key = r.keyOf(req.Handle)
 		}
 		req.Key = key
-		var candidates []string
-		if key != 0 {
-			candidates = r.ring.Replicas(key, r.cfg.Replicas)
-		} else {
-			// Unknown placement (handle predates this router): ask everyone
-			// in deterministic order; the holder answers, the rest refuse.
-			candidates = r.ring.Members()
-		}
+		candidates := r.candidatesFor(key)
 		if req.Op == server.OpSolveMany && key != 0 && req.NRHS >= 4 && len(candidates) >= 2 {
 			resp = r.scatterSolveMany(req, candidates)
 		} else {
-			resp = r.forward(req, candidates)
+			resp = r.forward(req, key)
 		}
 		if req.Op == server.OpFree && resp != nil && resp.Err == "" {
 			r.placeMu.Lock()
@@ -273,27 +274,68 @@ func handleOp(op server.Op) bool {
 	return false
 }
 
-// forward tries candidates in placement order (owner first), following
+// candidatesFor resolves the shards to try for a structure key: the key's
+// replica set in placement order, or — key unknown (a handle that predates
+// this router) — every member in deterministic order (the holder answers,
+// the rest refuse).
+func (r *Router) candidatesFor(key uint64) []string {
+	if key != 0 {
+		return r.ring.Replicas(key, r.cfg.Replicas)
+	}
+	return r.ring.Members()
+}
+
+// forward routes req through its candidate shards. When every candidate is
+// unreachable the ring view may simply be stale — the fleet healed around a
+// membership change the router has not seen — so the router refreshes its
+// view from any answering member and, if the epoch advanced, re-resolves the
+// candidates once and tries again.
+func (r *Router) forward(req *server.Request, key uint64) *server.Response {
+	resp, lastErr := r.forwardOnce(req, r.candidatesFor(key))
+	if resp == nil && r.refreshRing("") {
+		resp, lastErr = r.forwardOnce(req, r.candidatesFor(key))
+	}
+	if resp == nil {
+		return &server.Response{
+			Err:  fmt.Sprintf("cluster: no shard reachable for %s (last: %v)", req.Op, lastErr),
+			Code: server.CodeOverloaded,
+		}
+	}
+	return resp
+}
+
+// forwardOnce tries candidates in placement order (owner first), following
 // redirects, until one executes the request. Transport failures move to the
 // next candidate when retrying is safe; in-band BadHandle/Evicted answers
 // also move on (the owner may have restarted and lost the handle the
-// replica still holds). Returns nil only for an ambiguous failure of a
-// non-idempotent op.
-func (r *Router) forward(req *server.Request, candidates []string) *server.Response {
+// replica still holds). An ambiguous failure of a non-idempotent op — the
+// request was delivered but the connection died before the answer — returns
+// a typed CodeAmbiguous response: the router refuses to guess whether the
+// operation executed, and blind retry could double-execute. A nil response
+// means every candidate was transport-unreachable (the caller may refresh
+// the ring and retry).
+func (r *Router) forwardOnce(req *server.Request, candidates []string) (*server.Response, error) {
 	var last *server.Response
 	var lastErr error
-	tried := 0
 	for i, addr := range candidates {
 		for hop := 0; hop < maxRedirectHops; hop++ {
 			resp, delivered, err := r.peers.call(addr, req)
-			tried++
 			if err != nil {
 				if delivered && !req.Op.Idempotent() {
-					r.logf("cluster: %s to %s failed after delivery: %v", req.Op, addr, err)
-					return nil
+					r.ambiguous.Add(1)
+					r.logf("cluster: %s to %s ambiguous: delivered but unanswered: %v", req.Op, addr, err)
+					return &server.Response{
+						Err:  fmt.Sprintf("%v: %s to %s was delivered but the connection died before the answer: %v", sstar.ErrAmbiguous, req.Op, addr, err),
+						Code: server.CodeAmbiguous,
+					}, nil
 				}
 				lastErr = err
 				break // next candidate
+			}
+			if resp.Epoch > r.ring.Epoch() {
+				// The shard's membership view is newer than ours: adopt it
+				// before acting on a placement answer computed from it.
+				r.refreshRing(addr)
 			}
 			switch resp.Code {
 			case server.CodeRedirect, server.CodeNotOwner:
@@ -310,18 +352,39 @@ func (r *Router) forward(req *server.Request, candidates []string) *server.Respo
 				if i > 0 && handleOp(req.Op) && resp.Err == "" {
 					r.failovers.Add(1)
 				}
-				return resp
+				return resp, nil
 			}
 			break // refused in-band: next candidate
 		}
 	}
-	if last != nil {
-		return last
+	return last, lastErr
+}
+
+// refreshRing pulls a membership view from hint (when given) or any
+// answering ring member and adopts it if its epoch is newer than the
+// router's. Reports whether the view changed. Serialized so a burst of
+// stale answers costs one exchange.
+func (r *Router) refreshRing(hint string) bool {
+	r.refreshMu.Lock()
+	defer r.refreshMu.Unlock()
+	targets := r.ring.Members()
+	if hint != "" {
+		targets = append([]string{hint}, targets...)
 	}
-	return &server.Response{
-		Err:  fmt.Sprintf("cluster: no shard reachable for %s (%d attempts, last: %v)", req.Op, tried, lastErr),
-		Code: server.CodeOverloaded,
+	for _, m := range targets {
+		resp, _, err := r.peers.call(m, &server.Request{Op: server.OpMembership})
+		if err != nil || resp.Err != "" || len(resp.Members) == 0 {
+			continue // unreachable, or a standalone server: try the next
+		}
+		if resp.Epoch <= r.ring.Epoch() {
+			return false // an answer, but nothing newer than our view
+		}
+		r.ring.Replace(resp.Members, resp.Epoch)
+		r.refreshes.Add(1)
+		r.logf("cluster: router adopted membership epoch %d (%d members) from %s", resp.Epoch, len(resp.Members), m)
+		return true
 	}
+	return false
 }
 
 // scatterSolveMany splits a wide multi-RHS panel across the first two
@@ -354,7 +417,7 @@ func (r *Router) scatterSolveMany(req *server.Request, candidates []string) *ser
 		if errs[i] != nil || resps[i].Err != "" {
 			// One half failed — replica lagging, shard down, whatever: the
 			// whole panel goes through the ordinary failover path.
-			return r.forward(req, candidates)
+			return r.forward(req, req.Key)
 		}
 	}
 	r.scatters.Add(1)
@@ -402,6 +465,14 @@ func (r *Router) aggregateStats() server.ServerStats {
 		agg.Redirects += st.Redirects
 		agg.Replications += st.Replications
 		agg.ReplicationPending += st.ReplicationPending
+		agg.Promotions += st.Promotions
+		agg.Demotions += st.Demotions
+		agg.RepairPushes += st.RepairPushes
+		agg.RepairDrops += st.RepairDrops
+		agg.StaleReplicas += st.StaleReplicas
+		if st.Epoch > agg.Epoch {
+			agg.Epoch = st.Epoch
+		}
 	}
 	agg.Shards = reachable
 	agg.Redirects += r.redirects.Load()
@@ -410,8 +481,58 @@ func (r *Router) aggregateStats() server.ServerStats {
 	return agg
 }
 
-// Stats returns the router's own counters (requests seen, failovers,
-// scatters, redirect follows) without contacting the shards.
-func (r *Router) Stats() (requests, errors, failovers, scatters, redirects int64) {
-	return r.requests.Load(), r.errors.Load(), r.failovers.Load(), r.scatters.Load(), r.redirects.Load()
+// RouterStats is a snapshot of the router's own counters — what the router
+// did, without contacting the shards.
+type RouterStats struct {
+	Requests      int64  // client requests routed
+	Errors        int64  // requests that ended in an error response
+	Failovers     int64  // handle ops completed by a non-first candidate (replica answered)
+	Scatters      int64  // SolveMany panels split across replica holders
+	Redirects     int64  // redirect answers followed to a new shard
+	Ambiguous     int64  // non-idempotent ops answered CodeAmbiguous (delivered, unanswered)
+	RingRefreshes int64  // membership views adopted from the fleet
+	Epoch         uint64 // current membership epoch of the router's ring view
+}
+
+// Stats returns a snapshot of the router's counters.
+func (r *Router) Stats() RouterStats {
+	return RouterStats{
+		Requests:      r.requests.Load(),
+		Errors:        r.errors.Load(),
+		Failovers:     r.failovers.Load(),
+		Scatters:      r.scatters.Load(),
+		Redirects:     r.redirects.Load(),
+		Ambiguous:     r.ambiguous.Load(),
+		RingRefreshes: r.refreshes.Load(),
+		Epoch:         r.ring.Epoch(),
+	}
+}
+
+// Bind registers the router's counters on reg (served by sstar-router's
+// -admin listener).
+func (r *Router) Bind(reg *obs.Registry) {
+	reg.CounterFunc("sstar_router_requests_total",
+		"Client requests routed by this router.",
+		func() float64 { return float64(r.requests.Load()) })
+	reg.CounterFunc("sstar_router_errors_total",
+		"Routed requests that ended in an error response.",
+		func() float64 { return float64(r.errors.Load()) })
+	reg.CounterFunc("sstar_router_failovers_total",
+		"Handle operations completed by a replica after the owner was unreachable.",
+		func() float64 { return float64(r.failovers.Load()) })
+	reg.CounterFunc("sstar_router_scatters_total",
+		"SolveMany panels split across replica holders and gathered.",
+		func() float64 { return float64(r.scatters.Load()) })
+	reg.CounterFunc("sstar_router_redirects_total",
+		"Redirect answers followed to the shard they named.",
+		func() float64 { return float64(r.redirects.Load()) })
+	reg.CounterFunc("sstar_router_ambiguous_failures_total",
+		"Non-idempotent operations answered CodeAmbiguous: delivered to a shard, connection died before the answer.",
+		func() float64 { return float64(r.ambiguous.Load()) })
+	reg.CounterFunc("sstar_router_ring_refreshes_total",
+		"Membership views adopted from the fleet after an epoch mismatch or total unreachability.",
+		func() float64 { return float64(r.refreshes.Load()) })
+	reg.GaugeFunc("sstar_router_membership_epoch",
+		"Membership epoch of the router's ring view.",
+		func() float64 { return float64(r.ring.Epoch()) })
 }

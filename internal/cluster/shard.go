@@ -3,10 +3,12 @@ package cluster
 import (
 	"bytes"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"sstar"
+	"sstar/internal/chaos"
 	"sstar/internal/server"
 )
 
@@ -35,6 +37,32 @@ type ShardConfig struct {
 	// the *new* push and counting it — a lagging successor degrades
 	// replication freshness, never the request path.
 	QueueDepth int
+	// Join, when set, names any live member of an existing cluster: the
+	// shard boots with a single-member ring at epoch 0 and the health loop
+	// joins through that address (receiving the fleet's epoch and member
+	// list, which triggers re-replication of exactly the keys the ring
+	// moves onto the newcomer). Peers may then list only Self — or be
+	// empty, defaulting to Self.
+	Join string
+	// HeartbeatInterval is the failure-detector probe cadence (default
+	// 250ms). Negative disables the health loop — membership stays static,
+	// the pre-self-healing behavior.
+	HeartbeatInterval time.Duration
+	// RepairInterval is the anti-entropy sweep cadence (default 2s).
+	// Negative disables the periodic sweep (membership-change rebalances
+	// still run). The sweep diffs per-shard manifests against ring
+	// placement and pushes/demotes/drops until the fleet converges.
+	RepairInterval time.Duration
+	// SuspectThreshold and DeadThreshold are the failure detector's phi
+	// levels (time since last ack in units of the smoothed ack interval):
+	// suspect logs, dead removes the peer from the ring and triggers
+	// promotion. Defaults 4 and 8.
+	SuspectThreshold float64
+	DeadThreshold    float64
+	// Clock injects time into the failure detector (default wall clock).
+	// Chaos tests drive a chaos.FakeClock to make suspect/dead transitions
+	// deterministic.
+	Clock chaos.Clock
 	// Logf, when set, receives replication and routing diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -46,14 +74,20 @@ func (c ShardConfig) withDefaults() ShardConfig {
 	if c.Replicas < 2 {
 		c.Replicas = 2
 	}
-	if c.Replicas > len(c.Peers) {
-		c.Replicas = len(c.Peers)
-	}
 	if c.Network == "" {
 		c.Network = "tcp"
 	}
 	if c.QueueDepth < 1 {
 		c.QueueDepth = 256
+	}
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = defaultHeartbeatInterval
+	}
+	if c.RepairInterval == 0 {
+		c.RepairInterval = defaultRepairInterval
+	}
+	if c.Clock == nil {
+		c.Clock = chaos.RealClock{}
 	}
 	return c
 }
@@ -74,16 +108,30 @@ type Shard struct {
 	ring  *Ring
 	peers *peers
 	srv   atomic.Pointer[server.Server]
+	mem   *membership
+	det   *detector
 
-	jobs chan replJob
-	stop chan struct{}
-	done chan struct{}
+	jobs       chan replJob
+	rebalance  chan struct{} // kicks an immediate push-only sweep after a membership change
+	stop       chan struct{}
+	done       chan struct{}
+	healthDone chan struct{}
+	repairDone chan struct{}
 
-	redirects    atomic.Int64
-	replications atomic.Int64
-	replErrors   atomic.Int64
-	replDropped  atomic.Int64
-	pending      atomic.Int64 // queued + in-flight replication pushes
+	strayMu   sync.Mutex
+	strayCand map[uint64]struct{} // strays whose copies were confirmed last sweep (two-sweep drop rule)
+
+	redirects         atomic.Int64
+	replications      atomic.Int64
+	replErrors        atomic.Int64
+	replDropped       atomic.Int64
+	pending           atomic.Int64 // queued + in-flight replication pushes
+	promotions        atomic.Int64
+	demotions         atomic.Int64
+	repairPushes      atomic.Int64
+	repairDrops       atomic.Int64
+	membershipChanges atomic.Int64
+	deaths            atomic.Int64
 }
 
 // NewShard builds the shard's cluster side. The returned Shard goes into
@@ -95,6 +143,9 @@ func NewShard(cfg ShardConfig) (*Shard, error) {
 	if cfg.Self == "" {
 		return nil, fmt.Errorf("cluster: shard needs a Self address")
 	}
+	if len(cfg.Peers) == 0 {
+		cfg.Peers = []string{cfg.Self}
+	}
 	ring := NewRing(cfg.VNodes)
 	self := false
 	for _, p := range cfg.Peers {
@@ -104,15 +155,37 @@ func NewShard(cfg ShardConfig) (*Shard, error) {
 	if !self {
 		return nil, fmt.Errorf("cluster: Self %q not in Peers %v", cfg.Self, cfg.Peers)
 	}
+	if cfg.Join == "" || len(cfg.Peers) > 1 {
+		// A statically configured fleet starts at epoch 1: an established
+		// view that beats any fresh joiner's epoch 0 in a merge.
+		ring.SetEpoch(1)
+	}
 	sh := &Shard{
-		cfg:   cfg,
-		ring:  ring,
-		peers: newPeers(cfg.Network, cfg.MaxFrame),
-		jobs:  make(chan replJob, cfg.QueueDepth),
-		stop:  make(chan struct{}),
-		done:  make(chan struct{}),
+		cfg:        cfg,
+		ring:       ring,
+		peers:      newPeers(cfg.Network, cfg.MaxFrame),
+		jobs:       make(chan replJob, cfg.QueueDepth),
+		rebalance:  make(chan struct{}, 1),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+		healthDone: make(chan struct{}),
+		repairDone: make(chan struct{}),
+	}
+	sh.mem = newMembership(cfg.Self, ring)
+	sh.det = newDetector(cfg.Clock, cfg.HeartbeatInterval, cfg.SuspectThreshold, cfg.DeadThreshold)
+	for _, p := range cfg.Peers {
+		sh.mem.noteKnown(p)
+	}
+	if cfg.Join != "" {
+		sh.mem.noteKnown(cfg.Join)
 	}
 	go sh.replicator()
+	if cfg.HeartbeatInterval > 0 {
+		go sh.healthLoop()
+	} else {
+		close(sh.healthDone)
+	}
+	go sh.repairLoop()
 	return sh, nil
 }
 
@@ -142,14 +215,58 @@ func (sh *Shard) Bind(s *server.Server) {
 	reg.CounterFunc("sstar_cluster_redirects_total",
 		"Requests refused with CodeRedirect/CodeNotOwner because placement assigns them elsewhere.",
 		func() float64 { return float64(sh.redirects.Load()) })
+	reg.GaugeFunc("sstar_cluster_membership_epoch",
+		"Membership epoch of this shard's ring view (bumps on every join, leave, or death).",
+		func() float64 { return float64(sh.ring.Epoch()) })
+	reg.CounterFunc("sstar_cluster_membership_changes_total",
+		"Membership view changes this shard applied (joins, leaves, deaths, merges).",
+		func() float64 { return float64(sh.membershipChanges.Load()) })
+	reg.CounterFunc("sstar_cluster_peer_deaths_total",
+		"Peers this shard's failure detector declared dead.",
+		func() float64 { return float64(sh.deaths.Load()) })
+	reg.CounterFunc("sstar_cluster_promotions_total",
+		"Replica handles promoted to owner after a membership change moved their key here.",
+		func() float64 { return float64(sh.promotions.Load()) })
+	reg.CounterFunc("sstar_cluster_demotions_total",
+		"Owned handles demoted to replica after their key moved away (rejoin handover).",
+		func() float64 { return float64(sh.demotions.Load()) })
+	reg.CounterFunc("sstar_cluster_repair_pushes_total",
+		"Factor copies the anti-entropy sweep pushed to restore ring placement.",
+		func() float64 { return float64(sh.repairPushes.Load()) })
+	reg.CounterFunc("sstar_cluster_repair_drops_total",
+		"Stray handles released after their copies were confirmed on two consecutive sweeps.",
+		func() float64 { return float64(sh.repairDrops.Load()) })
 }
 
-// Close stops the replicator (best effort: the queue is drained first) and
-// releases peer connections.
+// Close stops the health, repair, and replicator goroutines (best effort:
+// the replication queue is drained first) and releases peer connections.
 func (sh *Shard) Close() {
 	close(sh.stop)
+	<-sh.healthDone
+	<-sh.repairDone
 	<-sh.done
 	sh.peers.close()
+}
+
+// Leave announces a coordinated departure: every reachable member receives a
+// Leave intent for this shard's address, bumps its epoch, and rebalances the
+// moved keys from the replicas it already holds. Called before shutdown
+// (sstar-serve does); best-effort — an unreachable peer learns the same
+// thing from its failure detector, just slower.
+func (sh *Shard) Leave() {
+	_, members := sh.ring.View()
+	for _, m := range members {
+		if m == sh.cfg.Self {
+			continue
+		}
+		req := &server.Request{Op: server.OpMembership, Addr: sh.cfg.Self, Leave: true}
+		if resp, _, err := sh.peers.call(m, req); err != nil {
+			sh.logf("cluster: %s: leave notice to %s failed: %v", sh.cfg.Self, m, err)
+		} else if resp.Err != "" {
+			sh.logf("cluster: %s: leave notice to %s refused: %s", sh.cfg.Self, m, resp.Err)
+		}
+	}
+	sh.mem.applyLeave(sh.cfg.Self)
 }
 
 func (sh *Shard) logf(format string, args ...any) {
@@ -174,6 +291,14 @@ func (sh *Shard) successor(key uint64) string {
 // instead of failing.
 func (sh *Shard) Route(req *server.Request) *server.Response {
 	switch req.Op {
+	case server.OpMembership:
+		return sh.handleMembership(req)
+	case server.OpManifest:
+		s := sh.srv.Load()
+		if s == nil {
+			return &server.Response{Manifest: []server.ManifestEntry{}, Epoch: sh.ring.Epoch()}
+		}
+		return &server.Response{Manifest: s.Manifest(), Epoch: sh.ring.Epoch()}
 	case server.OpFactorize:
 		if req.Matrix == nil {
 			return nil // local validation produces the real error
@@ -189,10 +314,11 @@ func (sh *Shard) Route(req *server.Request) *server.Response {
 		}
 		sh.redirects.Add(1)
 		return &server.Response{
-			Err:  fmt.Sprintf("%v: structure %#x is placed on %s", sstar.ErrRedirect, key, reps[0]),
-			Code: server.CodeRedirect,
-			Addr: reps[0],
-			Key:  key,
+			Err:   fmt.Sprintf("%v: structure %#x is placed on %s", sstar.ErrRedirect, key, reps[0]),
+			Code:  server.CodeRedirect,
+			Addr:  reps[0],
+			Key:   key,
+			Epoch: sh.ring.Epoch(),
 		}
 	case server.OpSolve, server.OpSolveMany, server.OpRefactorize, server.OpFree:
 		s := sh.srv.Load()
@@ -215,10 +341,11 @@ func (sh *Shard) Route(req *server.Request) *server.Response {
 		}
 		sh.redirects.Add(1)
 		return &server.Response{
-			Err:  fmt.Sprintf("%v: handle %d (structure %#x) is placed on %s", sstar.ErrNotOwner, req.Handle, req.Key, reps[0]),
-			Code: server.CodeNotOwner,
-			Addr: reps[0],
-			Key:  req.Key,
+			Err:   fmt.Sprintf("%v: handle %d (structure %#x) is placed on %s", sstar.ErrNotOwner, req.Handle, req.Key, reps[0]),
+			Code:  server.CodeNotOwner,
+			Addr:  reps[0],
+			Key:   req.Key,
+			Epoch: sh.ring.Epoch(),
 		}
 	}
 	return nil // ping, stats, replication pushes: always local
@@ -287,7 +414,22 @@ func (sh *Shard) AugmentStats(st *server.ServerStats) {
 	st.Redirects = sh.redirects.Load()
 	st.Replications = sh.replications.Load()
 	st.ReplicationPending = int(sh.pending.Load())
+	st.Epoch = sh.ring.Epoch()
+	st.Promotions = sh.promotions.Load()
+	st.Demotions = sh.demotions.Load()
+	st.RepairPushes = sh.repairPushes.Load()
+	st.RepairDrops = sh.repairDrops.Load()
 }
+
+// Epoch returns the shard's current membership epoch.
+func (sh *Shard) Epoch() uint64 { return sh.ring.Epoch() }
+
+// Owner maps a structure key to the advertised address of its owner under
+// this shard's current view.
+func (sh *Shard) Owner(key uint64) string { return sh.ring.Owner(key) }
+
+// Members returns the shard's current member list, sorted.
+func (sh *Shard) Members() []string { return sh.ring.Members() }
 
 // enqueue hands a push to the replicator without ever blocking the request
 // path: a full queue drops the push (counted, logged) rather than stalling

@@ -130,3 +130,54 @@ func FuzzRedirectDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzMembershipDecode drives hostile membership and manifest exchanges —
+// the self-healing wire ops a shard accepts from any peer that can dial it —
+// through the same decode-then-process path. Hostile epochs, member lists
+// (huge, empty, binary garbage), and intent flags must all come back as
+// in-band answers, never a panic: the failure detector calls these ops on
+// every heartbeat, so a poisonous view from one sick peer must not take a
+// healthy shard down with it.
+func FuzzMembershipDecode(f *testing.F) {
+	seeds := []*Request{
+		{Op: OpMembership, Epoch: 1, Members: []string{"127.0.0.1:7071", "127.0.0.1:7072"}, Addr: "127.0.0.1:7071"},
+		{Op: OpMembership, Epoch: 3, Members: []string{"127.0.0.1:7073"}, Addr: "127.0.0.1:7073", Join: true},
+		{Op: OpMembership, Epoch: 9, Addr: "127.0.0.1:7072", Leave: true},
+		{Op: OpMembership}, // empty view, no identity
+		{Op: OpMembership, Epoch: ^uint64(0), Members: []string{""}, Addr: ""},
+		{Op: OpMembership, Epoch: 5, Members: []string{"\x00\xffgarbage", strings.Repeat("m", 300)}, Addr: "\nnot an addr", Join: true, Leave: true},
+		{Op: OpManifest},
+		{Op: OpManifest, Epoch: 2, Addr: "127.0.0.1:7071"},
+	}
+	for _, req := range seeds {
+		var buf bytes.Buffer
+		if err := wire.WriteGob(&buf, FrameRequest, req); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte{})
+
+	s := fuzzServer()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req := new(Request)
+		if err := wire.ReadGob(bytes.NewReader(data), FrameRequest, 1<<20, req); err != nil {
+			return
+		}
+		if req.Op != OpMembership && req.Op != OpManifest {
+			return // other ops belong to FuzzRequestDecode
+		}
+		// Cap the membership list a decoded request may carry; the target is
+		// the decoder and the merge rules, not allocating a million vnodes.
+		if len(req.Members) > 64 {
+			return
+		}
+		resp := s.process(req)
+		if resp == nil {
+			t.Fatal("process returned nil response")
+		}
+		if req.Op == OpManifest && resp.Err != "" {
+			t.Fatalf("manifest exchange failed in-band: %s", resp.Err)
+		}
+	})
+}

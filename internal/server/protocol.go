@@ -73,6 +73,22 @@ const (
 	// structure-keyed cache so a failover factorize on the successor shard
 	// is a cache hit, not a cold analyze.
 	OpReplicateAnalysis Op = 9
+
+	// OpMembership is the cluster heartbeat and view exchange: the sender's
+	// membership epoch and member list ride in Epoch/Members (with Addr
+	// naming the sender), the receiver merges them into its own view and
+	// answers with the merged epoch and member list. Join/Leave mark the
+	// request as an explicit intent: add (or remove) Addr and bump the
+	// epoch, whatever the sender's epoch says — this is what lets a
+	// fresh low-epoch joiner enter a long-running ring. Additive: a
+	// standalone server (no cluster hooks) answers it with a typed error.
+	OpMembership Op = 10
+
+	// OpManifest asks for the receiver's handle manifest — one entry per
+	// live factorization (handle id, structure key, values-epoch, replica
+	// flag). The anti-entropy repair sweep diffs manifests against ring
+	// placement to find missing, stale, or stray copies.
+	OpManifest Op = 11
 )
 
 // Idempotent reports whether repeating the operation after an ambiguous
@@ -84,7 +100,8 @@ const (
 // shed request never executed.
 func (o Op) Idempotent() bool {
 	switch o {
-	case OpPing, OpStats, OpSolve, OpSolveMany, OpRefactorize, OpReplicate, OpReplicateAnalysis:
+	case OpPing, OpStats, OpSolve, OpSolveMany, OpRefactorize, OpReplicate, OpReplicateAnalysis,
+		OpMembership, OpManifest:
 		return true
 	}
 	return false
@@ -111,6 +128,10 @@ func (o Op) String() string {
 		return "replicate"
 	case OpReplicateAnalysis:
 		return "replicate-analysis"
+	case OpMembership:
+		return "membership"
+	case OpManifest:
+		return "manifest"
 	}
 	return "unknown"
 }
@@ -168,6 +189,40 @@ type Request struct {
 	// under DefaultTenant. Purely a QoS identity — it never changes what a
 	// request computes.
 	Tenant string
+
+	// Epoch and Members carry the sender's membership view on
+	// OpMembership. Additive gob fields: peers that predate them decode
+	// zero values, which merge as "no information".
+	Epoch   uint64
+	Members []string
+
+	// Addr is the sender's advertised address on OpMembership — the
+	// identity heartbeats ack under and the member a Join/Leave intent
+	// adds or removes.
+	Addr string
+
+	// Join and Leave mark an OpMembership request as an explicit
+	// membership intent for Addr rather than a plain view exchange.
+	Join  bool
+	Leave bool
+
+	// ValEpoch is the values-epoch of an OpReplicate push: a per-handle
+	// counter starting at 1 on factorize and incremented on every
+	// refactorize. A receiver holding a strictly newer values-epoch for
+	// the handle ignores the push (answering success), so a delayed
+	// replication message can never roll factors back. Zero (an old peer)
+	// is treated as 1.
+	ValEpoch uint64
+}
+
+// ManifestEntry describes one live factorization in a shard's manifest: the
+// identity the repair sweep needs to decide whether a copy is missing, stale,
+// or stray — never the factors themselves.
+type ManifestEntry struct {
+	Handle   uint64
+	Key      uint64 // structure key (ring placement input)
+	ValEpoch uint64 // values-epoch of the installed factors
+	Replica  bool   // installed by replication rather than factorized locally
 }
 
 // DefaultTenant is the tenant requests without a Tenant field (old peers,
@@ -297,6 +352,29 @@ type ServerStats struct {
 	// Scatters counts SolveMany requests the router split across the
 	// shards holding replicas (scatter/gather).
 	Scatters int64
+
+	// Self-healing membership fields — zero on a standalone server and on
+	// fleets predating dynamic membership.
+	//
+	// Epoch is the membership epoch of the reporting shard's ring view
+	// (routers report the highest epoch they have seen).
+	Epoch uint64
+	// Promotions counts replica handles this shard flipped to owned after
+	// a membership change moved their key onto it (owner death or leave).
+	Promotions int64
+	// Demotions counts owned handles flipped back to replica after their
+	// key moved away (typically the previous owner rejoining).
+	Demotions int64
+	// RepairPushes counts factor copies the anti-entropy sweep pushed to
+	// restore placement (missing or stale copies on the responsible
+	// shards, strays returned to their owner).
+	RepairPushes int64
+	// RepairDrops counts stray handles the sweep released after their
+	// copies were confirmed on the responsible shards twice in a row.
+	RepairDrops int64
+	// StaleReplicas counts replication pushes refused because the
+	// receiver already held a strictly newer values-epoch for the handle.
+	StaleReplicas int64
 }
 
 // HitRate returns the analysis-cache hit rate in [0,1], 0 when no factorize
@@ -331,6 +409,11 @@ const (
 	// handle nor a replica. Never executed; Response.Addr names the owner
 	// when the request carried a structure key.
 	CodeNotOwner Code = 7
+	// CodeAmbiguous: a non-idempotent request was delivered to a shard but
+	// the connection died before the answer — the operation may or may not
+	// have executed. Stamped only by the router (a server always knows its
+	// own outcome); never safe to retry blindly.
+	CodeAmbiguous Code = 8
 )
 
 // Sentinel returns the root-package sentinel error of the code, nil for
@@ -351,6 +434,8 @@ func (c Code) Sentinel() error {
 		return sstar.ErrRedirect
 	case CodeNotOwner:
 		return sstar.ErrNotOwner
+	case CodeAmbiguous:
+		return sstar.ErrAmbiguous
 	}
 	return nil
 }
@@ -374,6 +459,8 @@ func (c Code) String() string {
 		return "redirect"
 	case CodeNotOwner:
 		return "not-owner"
+	case CodeAmbiguous:
+		return "ambiguous"
 	}
 	return "unknown"
 }
@@ -399,6 +486,8 @@ func CodeOf(err error) Code {
 		return CodeRedirect
 	case errors.Is(err, sstar.ErrNotOwner):
 		return CodeNotOwner
+	case errors.Is(err, sstar.ErrAmbiguous):
+		return CodeAmbiguous
 	}
 	return CodeNone
 }
@@ -448,6 +537,17 @@ type Response struct {
 	// clients can hint later handle operations (Request.Key) and routers
 	// can place without re-hashing.
 	Key uint64
+
+	// Epoch is the responder's membership epoch, stamped on OpMembership
+	// answers and on redirect refusals (CodeRedirect/CodeNotOwner) so
+	// routers and clients can tell a placement disagreement caused by a
+	// membership change from a genuine misroute — and refresh their ring
+	// instead of failing over blindly. Additive gob field.
+	Epoch uint64
+	// Members is the responder's member list on OpMembership.
+	Members []string
+	// Manifest is the responder's handle manifest on OpManifest.
+	Manifest []ManifestEntry
 }
 
 // Error returns the response's failure as a *RemoteError, nil on success.

@@ -25,8 +25,14 @@ type handle struct {
 	key uint64
 	// replica marks a handle installed by a peer shard's replication push
 	// rather than factorized locally. Replicas serve solves identically;
-	// the flag only feeds the per-shard ownership gauges.
+	// the flag feeds the per-shard ownership gauges and the free-forwarding
+	// rule, and the repair sweep flips it on promotion/demotion.
 	replica bool
+	// valEpoch is the values-epoch of the installed factors: 1 at
+	// factorize, incremented under mu on every refactorize, carried by
+	// replication pushes so a stale (delayed) push can never roll newer
+	// factors back.
+	valEpoch uint64
 }
 
 // bytes estimates the memory the handle pins: the block factor storage
@@ -134,6 +140,16 @@ func (r *registry) put(id uint64, h *handle) {
 	defer r.mu.Unlock()
 	if el, ok := r.live[id]; ok {
 		e := el.Value.(*regEntry)
+		// Values-epoch guard inside the registry lock: the caller's
+		// staleness check races with concurrent installs, so the
+		// authoritative comparison happens here — an older push never
+		// replaces newer factors.
+		e.h.mu.RLock()
+		newer := e.h.valEpoch > h.valEpoch
+		e.h.mu.RUnlock()
+		if newer {
+			return
+		}
 		r.bytes -= e.bytes
 		e.h, e.bytes, e.lastUsed = h, h.bytes(), r.clock()
 		r.bytes += e.bytes
@@ -157,6 +173,74 @@ func (r *registry) contains(id uint64) bool {
 	defer r.mu.Unlock()
 	_, ok := r.live[id]
 	return ok
+}
+
+// manifest snapshots every live handle's placement identity (id, structure
+// key, values-epoch, replica flag) without touching the LRU order — the
+// repair sweep must not keep strays artificially warm.
+func (r *registry) manifest() []ManifestEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]ManifestEntry, 0, len(r.live))
+	for id, el := range r.live {
+		h := el.Value.(*regEntry).h
+		h.mu.RLock()
+		out = append(out, ManifestEntry{Handle: id, Key: h.key, ValEpoch: h.valEpoch, Replica: h.replica})
+		h.mu.RUnlock()
+	}
+	return out
+}
+
+// valEpochOf returns the live handle's values-epoch (0, false when id is not
+// live). Used to refuse stale replication pushes.
+func (r *registry) valEpochOf(id uint64) (uint64, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	el, ok := r.live[id]
+	if !ok {
+		return 0, false
+	}
+	h := el.Value.(*regEntry).h
+	h.mu.RLock()
+	e := h.valEpoch
+	h.mu.RUnlock()
+	return e, true
+}
+
+// setRole flips a live handle's replica flag (false = owned). Returns whether
+// the id was live and the flag actually changed — the promotion/demotion
+// counters only count real transitions.
+func (r *registry) setRole(id uint64, replica bool) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	el, ok := r.live[id]
+	if !ok {
+		return false
+	}
+	h := el.Value.(*regEntry).h
+	h.mu.Lock()
+	changed := h.replica != replica
+	h.replica = replica
+	h.mu.Unlock()
+	return changed
+}
+
+// drop removes a live handle without a tombstone and without an error — the
+// repair sweep releasing a stray whose copies are confirmed elsewhere. A
+// later operation on the id redirects by placement (the shard layer) or fails
+// ErrBadHandle, both truthful.
+func (r *registry) drop(id uint64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	el, ok := r.live[id]
+	if !ok {
+		return false
+	}
+	e := el.Value.(*regEntry)
+	r.ll.Remove(el)
+	delete(r.live, id)
+	r.bytes -= e.bytes
+	return true
 }
 
 // replicaCount returns how many live handles are replication installs.

@@ -133,6 +133,10 @@ type StoredEvent struct {
 	RowPtr []int
 	ColInd []int
 	Blob   []byte
+	// ValEpoch is the values-epoch of the serialized factors (1 on
+	// factorize, incremented per refactorize); it rides on the replication
+	// push so a delayed push cannot roll a newer replica back.
+	ValEpoch uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -209,6 +213,7 @@ type Server struct {
 	patches           atomic.Int64
 	patchFallbacks    atomic.Int64
 	replicasInstalled atomic.Int64
+	staleReplicas     atomic.Int64 // replication pushes refused as older than the installed values-epoch
 	coalescedSolves   atomic.Int64 // solves that rode in a width >= 2 batch
 	solveBatches      atomic.Int64 // batched solve calls of width >= 2
 
@@ -541,6 +546,12 @@ func (s *Server) process(req *Request) (resp *Response) {
 		return s.doReplicate(req)
 	case OpReplicateAnalysis:
 		return s.doReplicateAnalysis(req)
+	case OpManifest:
+		return &Response{Manifest: s.reg.manifest()}
+	case OpMembership:
+		// A cluster shard's Route hook answers this above; reaching here
+		// means the process is standalone.
+		return &Response{Err: "server: membership exchange requires cluster mode"}
 	}
 	return &Response{Err: fmt.Sprintf("server: unknown op %d", req.Op)}
 }
@@ -629,18 +640,19 @@ func (s *Server) doFactorize(req *Request) *Response {
 	}
 	stats.FactorNs = time.Since(t1).Nanoseconds()
 	h := &handle{
-		f:      f,
-		n:      a.N,
-		rowPtr: append([]int(nil), a.RowPtr...),
-		colInd: append([]int(nil), a.ColInd...),
-		key:    key,
+		f:        f,
+		n:        a.N,
+		rowPtr:   append([]int(nil), a.RowPtr...),
+		colInd:   append([]int(nil), a.ColInd...),
+		key:      key,
+		valEpoch: 1,
 	}
 	id := s.reg.add(h)
 	resp := &Response{Handle: id, N: a.N, Nnz: len(h.colInd), Key: key, Stats: stats}
 	if hk != nil {
 		resp.Addr, resp.Replica = hk.Placement(key)
 		if blob, err := serializeFactors(f); err == nil {
-			hk.Stored(StoredEvent{Handle: id, Key: key, N: a.N, RowPtr: h.rowPtr, ColInd: h.colInd, Blob: blob})
+			hk.Stored(StoredEvent{Handle: id, Key: key, N: a.N, RowPtr: h.rowPtr, ColInd: h.colInd, Blob: blob, ValEpoch: 1})
 		} else {
 			s.logf("server: serialize for replication: %v", err)
 		}
@@ -679,13 +691,18 @@ func (s *Server) doRefactorize(req *Request) *Response {
 	hk := s.cfg.Cluster
 	var blob []byte
 	var blobErr error
+	var valEpoch uint64
 	h.mu.Lock()
 	err = h.f.Refactorize(m)
-	if err == nil && hk != nil {
-		// Serialize under the handle lock: a concurrent refactorize must
-		// not swap the factors mid-Save, or the replica would hold a
-		// torn mixture of two factorizations.
-		blob, blobErr = serializeFactors(h.f)
+	if err == nil {
+		h.valEpoch++
+		valEpoch = h.valEpoch
+		if hk != nil {
+			// Serialize under the handle lock: a concurrent refactorize must
+			// not swap the factors mid-Save, or the replica would hold a
+			// torn mixture of two factorizations.
+			blob, blobErr = serializeFactors(h.f)
+		}
 	}
 	h.mu.Unlock()
 	stats.FactorNs = time.Since(t0).Nanoseconds()
@@ -694,7 +711,7 @@ func (s *Server) doRefactorize(req *Request) *Response {
 	}
 	if hk != nil {
 		if blobErr == nil {
-			hk.Stored(StoredEvent{Handle: req.Handle, Key: h.key, N: h.n, RowPtr: h.rowPtr, ColInd: h.colInd, Blob: blob})
+			hk.Stored(StoredEvent{Handle: req.Handle, Key: h.key, N: h.n, RowPtr: h.rowPtr, ColInd: h.colInd, Blob: blob, ValEpoch: valEpoch})
 		} else {
 			s.logf("server: serialize for replication: %v", blobErr)
 		}
@@ -754,6 +771,18 @@ func (s *Server) doSolveMany(req *Request) *Response {
 // verifies every frame checksum — a blob corrupted in flight is refused, and
 // the pusher retries.
 func (s *Server) doReplicate(req *Request) *Response {
+	valEpoch := req.ValEpoch
+	if valEpoch == 0 {
+		valEpoch = 1 // a pre-values-epoch peer
+	}
+	// Refuse (silently — the push succeeded from the sender's view, it is
+	// just obsolete) a push older than what is already installed: a delayed
+	// replication message must never roll newer factors back. Equal epochs
+	// re-install — the push is idempotent and the bytes identical.
+	if have, ok := s.reg.valEpochOf(req.Handle); ok && have > valEpoch {
+		s.staleReplicas.Add(1)
+		return &Response{Handle: req.Handle}
+	}
 	f, err := sstar.Load(bytes.NewReader(req.Blob))
 	if err != nil {
 		return errResponse(fmt.Errorf("server: replicate handle %d: %w", req.Handle, err))
@@ -763,12 +792,13 @@ func (s *Server) doReplicate(req *Request) *Response {
 		return &Response{Err: "server: replicate needs the retained pattern"}
 	}
 	h := &handle{
-		f:       f,
-		n:       m.N,
-		rowPtr:  m.RowPtr,
-		colInd:  m.ColInd,
-		key:     req.Key,
-		replica: true,
+		f:        f,
+		n:        m.N,
+		rowPtr:   m.RowPtr,
+		colInd:   m.ColInd,
+		key:      req.Key,
+		replica:  true,
+		valEpoch: valEpoch,
 	}
 	s.reg.put(req.Handle, h)
 	s.replicasInstalled.Add(1)
@@ -808,6 +838,52 @@ func (s *Server) doFree(req *Request) *Response {
 // without disturbing the LRU order. The cluster layer's routing check.
 func (s *Server) HasHandle(id uint64) bool { return s.reg.contains(id) }
 
+// Manifest snapshots every live handle's placement identity — the input the
+// cluster layer's anti-entropy repair sweep diffs against ring placement.
+func (s *Server) Manifest() []ManifestEntry { return s.reg.manifest() }
+
+// SetHandleRole flips a live handle between owned (replica=false) and
+// replica. Returns whether the flag actually changed. The cluster layer
+// promotes a replica to owner when a membership change moves its key here,
+// and demotes an owned handle back when the key moves away (a rejoined
+// owner reclaiming its range). Role never changes what a solve computes —
+// only the ownership gauges and the free-forwarding rule.
+func (s *Server) SetHandleRole(id uint64, replica bool) bool {
+	return s.reg.setRole(id, replica)
+}
+
+// ExportHandle re-serializes a live handle's factors as a replicable
+// StoredEvent (bit-exact: Save/Load round-trips the pivot sequence and
+// values). The repair sweep uses it to push missing or stale copies; ok is
+// false when the id is not live. The snapshot is taken under the handle's
+// read lock, so a concurrent refactorize can never yield a torn blob.
+func (s *Server) ExportHandle(id uint64) (ev StoredEvent, ok bool) {
+	h, err := s.reg.get(id)
+	if err != nil {
+		return StoredEvent{}, false
+	}
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	blob, err := serializeFactors(h.f)
+	if err != nil {
+		s.logf("server: serialize for repair: %v", err)
+		return StoredEvent{}, false
+	}
+	return StoredEvent{
+		Handle:   id,
+		Key:      h.key,
+		N:        h.n,
+		RowPtr:   h.rowPtr,
+		ColInd:   h.colInd,
+		Blob:     blob,
+		ValEpoch: h.valEpoch,
+	}, true
+}
+
+// DropHandle releases a live handle without a tombstone — the repair sweep
+// removing a stray whose copies are confirmed on the responsible shards.
+func (s *Server) DropHandle(id uint64) bool { return s.reg.drop(id) }
+
 // InstallAnalysis inserts an analysis into the structure-keyed cache — the
 // receiving end of analysis replication, exposed for the cluster layer and
 // for warm-start tooling.
@@ -839,6 +915,7 @@ func (s *Server) Stats() ServerStats {
 		HandleBytes:     handleBytes,
 		CoalescedSolves: s.coalescedSolves.Load(),
 		SolveBatches:    s.solveBatches.Load(),
+		StaleReplicas:   s.staleReplicas.Load(),
 		Tenants:         s.tenantStats(),
 	}
 	if hk := s.cfg.Cluster; hk != nil {

@@ -28,12 +28,21 @@ go test -race -count=1 -run 'TestChaosEndToEnd' -timeout 600s ./internal/server
 # refactorization on failover.
 go test -race -count=1 -run 'TestClusterChaosFailover' -timeout 600s ./internal/cluster
 
+# Self-healing suite (make cluster-churn): the membership churn property
+# test (any join/leave/kill sequence converges to an empty manifest diff
+# with every key at min(R, live) copies) plus the kill/rejoin and partition
+# e2e tests — owner dies mid-workload behind fault proxies, replica is
+# promoted, the rejoined member is repopulated by repair without ever
+# refactorizing.
+make cluster-churn
+
 # Fuzz smoke: the frame codec and the request decoder face the raw network
 # and must never panic; a few seconds of fuzzing guards the invariant
 # without stalling CI (longer runs: make fuzz).
 go test -run='^$' -fuzz='^FuzzReadFrame$' -fuzztime=5s ./internal/wire
 go test -run='^$' -fuzz='^FuzzRequestDecode$' -fuzztime=5s ./internal/server
 go test -run='^$' -fuzz='^FuzzRedirectDecode$' -fuzztime=5s ./internal/server
+go test -run='^$' -fuzz='^FuzzMembershipDecode$' -fuzztime=5s ./internal/server
 
 # Observability overhead guard: the disabled instrumentation path (no
 # Observer, stats off) must stay allocation-free in the kernels and the

@@ -10,8 +10,10 @@ go build ./...
 go test ./...
 
 # The cluster package is all cross-shard concurrency (replication queues,
-# failover, scatter/gather); its suite is fast enough to run under the race
-# detector on every commit. The symbolic and supernode packages carry the
+# failover, scatter/gather, and the self-healing machinery: heartbeat loops,
+# membership merges, repair sweeps racing live traffic); its suite is fast
+# enough to run under the race detector on every commit. The symbolic and
+# supernode packages carry the
 # parallel analyze stages (subtree workers, candidate sweep, block builds)
 # whose byte-identity contract the race detector must see exercised.
 go test -race ./internal/cluster ./internal/symbolic ./internal/supernode
